@@ -1,0 +1,130 @@
+// Command uwbench regenerates the paper's tables and figures and prints
+// them as text tables with the paper's reported shape alongside.
+//
+// Usage:
+//
+//	uwbench [-experiment all|fig06a|fig06b|...|headline] [-samples N] [-seed S] [-quick]
+//
+// Experiment IDs match the figure/table numbering of the paper (see
+// DESIGN.md §4 for the index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"uwpos/internal/experiments"
+	"uwpos/internal/stats"
+)
+
+type runner func(experiments.Options) *stats.Table
+
+func registry() map[string]runner {
+	return map[string]runner{
+		"fig06a": func(o experiments.Options) *stats.Table { _, t := experiments.Fig06a(o); return t },
+		"fig06b": func(o experiments.Options) *stats.Table { _, t := experiments.Fig06b(o); return t },
+		"fig06c": func(o experiments.Options) *stats.Table { _, t := experiments.Fig06c(o); return t },
+		"fig06d": func(o experiments.Options) *stats.Table { _, t := experiments.Fig06d(o); return t },
+		"fig11a": func(o experiments.Options) *stats.Table { _, t := experiments.Fig11a(o); return t },
+		"fig11b": func(o experiments.Options) *stats.Table { _, t := experiments.Fig11b(o); return t },
+		"fig12a": func(o experiments.Options) *stats.Table { _, _, t := experiments.Fig12a(o); return t },
+		"fig12b": func(o experiments.Options) *stats.Table { _, t := experiments.Fig12b(o); return t },
+		"fig13a": func(o experiments.Options) *stats.Table { _, t := experiments.Fig13a(o); return t },
+		"fig13b": func(o experiments.Options) *stats.Table { _, t := experiments.Fig13b(o); return t },
+		"fig14a": func(o experiments.Options) *stats.Table { _, t := experiments.Fig14a(o); return t },
+		"fig14b": func(o experiments.Options) *stats.Table { _, t := experiments.Fig14b(o); return t },
+		"fig15":  func(o experiments.Options) *stats.Table { _, t := experiments.Fig15(o); return t },
+		"fig16":  func(o experiments.Options) *stats.Table { _, t := experiments.Fig16(o); return t },
+		"fig18":  func(o experiments.Options) *stats.Table { _, t := experiments.Fig18(o); return t },
+		"fig19a": func(o experiments.Options) *stats.Table { _, t := experiments.Fig19a(o); return t },
+		"fig19b": func(o experiments.Options) *stats.Table { _, t := experiments.Fig19b(o); return t },
+		"fig19b-4dev": func(o experiments.Options) *stats.Table {
+			_, t := experiments.FourDevices(o)
+			return t
+		},
+		"fig20": func(o experiments.Options) *stats.Table { _, t := experiments.Fig20(o); return t },
+		"fig22": func(o experiments.Options) *stats.Table { _, t := experiments.Fig22(o); return t },
+		"rtt":   func(o experiments.Options) *stats.Table { _, t := experiments.RTT(o); return t },
+		"flipping": func(o experiments.Options) *stats.Table {
+			_, _, t := experiments.Flipping(o)
+			return t
+		},
+		"battery":  func(o experiments.Options) *stats.Table { return experiments.Battery(o) },
+		"headline": experiments.Headline,
+		"ablation-bandwindow": func(o experiments.Options) *stats.Table {
+			_, t := experiments.AblationBandWindow(o)
+			return t
+		},
+		"ablation-prefilter": func(o experiments.Options) *stats.Table {
+			_, t := experiments.AblationPrefilter(o)
+			return t
+		},
+		"ablation-restarts": func(o experiments.Options) *stats.Table {
+			_, t := experiments.AblationRestarts(o)
+			return t
+		},
+		"ablation-reportback": func(o experiments.Options) *stats.Table {
+			_, t := experiments.AblationReportBack(o)
+			return t
+		},
+	}
+}
+
+// order fixes a stable printing order mirroring the paper's flow.
+var order = []string{
+	"fig06a", "fig06b", "fig06c", "fig06d",
+	"fig11a", "fig11b", "fig12a", "fig12b",
+	"fig13a", "fig13b", "fig14a", "fig14b",
+	"fig15", "fig16", "fig22",
+	"fig18", "fig19a", "fig19b", "fig19b-4dev", "fig20",
+	"rtt", "flipping", "battery",
+	"ablation-bandwindow", "ablation-prefilter", "ablation-restarts", "ablation-reportback",
+	"headline",
+}
+
+func main() {
+	var (
+		exp     = flag.String("experiment", "all", "experiment id (or 'all', 'list')")
+		samples = flag.Int("samples", 0, "override per-point sample count (0 = defaults)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		quick   = flag.Bool("quick", false, "divide heavy sample counts by 4")
+	)
+	flag.Parse()
+
+	reg := registry()
+	if *exp == "list" {
+		ids := make([]string, 0, len(reg))
+		for id := range reg {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Println(strings.Join(ids, "\n"))
+		return
+	}
+
+	opt := experiments.Options{Seed: *seed, Samples: *samples, Quick: *quick}
+	run := func(id string) {
+		fn, ok := reg[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -experiment list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		table := fn(opt)
+		fmt.Print(table.Format())
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+	if *exp == "all" {
+		for _, id := range order {
+			run(id)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		run(strings.TrimSpace(id))
+	}
+}

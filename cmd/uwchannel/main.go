@@ -1,0 +1,65 @@
+// Command uwchannel inspects the simulated underwater channel: eigenray
+// tables, delay spread and band SNR between two points in an environment —
+// the quickest way to understand why a deployment behaves as it does.
+//
+// Usage:
+//
+//	uwchannel [-env dock] [-range 20] [-depth-tx 2.5] [-depth-rx 2.5] [-order 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"uwpos/internal/channel"
+	"uwpos/internal/geom"
+)
+
+func main() {
+	var (
+		envName = flag.String("env", "dock", "environment preset")
+		rangeM  = flag.Float64("range", 20, "horizontal range (m)")
+		depthTx = flag.Float64("depth-tx", 2.5, "transmitter depth (m)")
+		depthRx = flag.Float64("depth-rx", 2.5, "receiver depth (m)")
+		order   = flag.Int("order", 3, "max reflections per boundary")
+	)
+	flag.Parse()
+
+	env, err := channel.ByName(*envName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uwchannel:", err)
+		os.Exit(1)
+	}
+	tx := geom.Vec3{X: 0, Y: 0, Z: *depthTx}
+	rx := geom.Vec3{X: *rangeM, Y: 0, Z: *depthRx}
+	c := env.SoundSpeed((*depthTx + *depthRx) / 2)
+	fmt.Printf("%s: depth %.1f m, c = %.1f m/s, ambient noise RMS %.4f\n",
+		env.Name, env.BottomDepthM, c, env.AmbientNoiseRMS)
+	fmt.Printf("link: %.1f m horizontal, depths %.1f → %.1f m\n\n", *rangeM, *depthTx, *depthRx)
+
+	taps := env.ImpulseResponse(tx, rx, channel.ImpulseOptions{MaxOrder: *order})
+	if len(taps) == 0 {
+		fmt.Println("no eigenrays (all below the amplitude floor)")
+		return
+	}
+	direct := taps[0].DelaySec
+	fmt.Println("eigenrays (S = surface bounces, B = bottom bounces):")
+	fmt.Println("  S B   delay(ms)  excess(ms)  excess(m)  rel.level(dB)")
+	ref := math.Abs(taps[0].Amplitude)
+	var spread float64
+	for _, tap := range taps {
+		level := 20 * math.Log10(math.Abs(tap.Amplitude)/ref)
+		excess := tap.DelaySec - direct
+		if math.Abs(tap.Amplitude) > 0.05*ref {
+			spread = excess
+		}
+		fmt.Printf("  %d %d  %9.3f  %10.3f  %9.2f  %13.1f\n",
+			tap.Surface, tap.Bottom, tap.DelaySec*1000, excess*1000, excess*c, level)
+	}
+	fmt.Printf("\nsignificant delay spread (taps within 26 dB of direct): %.1f ms (%.1f m)\n",
+		spread*1000, spread*c)
+	fmt.Printf("one 44.1 kHz sample = %.1f cm of range; the ranging symbol is %.1f ms\n",
+		100*c/44100, 1920.0/44.1)
+}

@@ -1,0 +1,63 @@
+// Command uwrange benchmarks two-device acoustic ranging over a sweep of
+// separations, printing per-distance error statistics and a CDF.
+//
+// Usage:
+//
+//	uwrange [-env dock] [-dists 10,20,35] [-trials 20] [-depth 2.5] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"uwpos"
+	"uwpos/internal/stats"
+)
+
+func main() {
+	var (
+		envName = flag.String("env", "dock", "environment preset")
+		dists   = flag.String("dists", "10,20,35", "comma-separated separations in metres")
+		trials  = flag.Int("trials", 20, "exchanges per distance")
+		depthM  = flag.Float64("depth", 2.5, "device depth in metres")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	env, err := uwpos.EnvironmentByName(*envName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uwrange:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("two-way dual-mic ranging, %s environment, depth %.1f m, %d trials/distance\n\n",
+		env.Name, *depthM, *trials)
+	fmt.Println("dist(m)  detected  median(m)  95th(m)  CDF(≤0.5m)  CDF(≤1.0m)")
+	for _, ds := range strings.Split(*dists, ",") {
+		d, err := strconv.ParseFloat(strings.TrimSpace(ds), 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uwrange:", err)
+			os.Exit(1)
+		}
+		var errs []float64
+		detected := 0
+		for t := 0; t < *trials; t++ {
+			est, tru, err := uwpos.RangeBetween(env, d, *depthM, *depthM, *seed+int64(t)*887)
+			if err != nil {
+				continue
+			}
+			detected++
+			e := est - tru
+			if e < 0 {
+				e = -e
+			}
+			errs = append(errs, e)
+		}
+		fmt.Printf("%7.1f  %4d/%-4d %9s  %7s  %10s  %10s\n",
+			d, detected, *trials,
+			stats.F(stats.Median(errs)), stats.F(stats.Percentile(errs, 95)),
+			stats.F(stats.CDFAt(errs, 0.5)), stats.F(stats.CDFAt(errs, 1.0)))
+	}
+}

@@ -1,0 +1,148 @@
+// Command uwsim runs one simulated dive-group localization round and
+// prints the estimated versus true positions.
+//
+// Usage:
+//
+//	uwsim [-env dock] [-n 5] [-seed 1] [-occlude 0-1] [-drop 2-4] [-move 2] [-pointing-err 5]
+//
+// The leader is device 0 and points at device 1. Device positions follow
+// the paper's Fig. 17 testbed layout, truncated/extended to -n devices.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"uwpos"
+)
+
+var layout = []uwpos.Vec3{
+	{X: 0, Y: 0, Z: 2.0},
+	{X: 6, Y: 1.5, Z: 2.5},
+	{X: 13, Y: -5, Z: 1.5},
+	{X: 10, Y: 8, Z: 3.5},
+	{X: 20, Y: 2, Z: 2.5},
+	{X: 16, Y: -9, Z: 3.0},
+	{X: 24, Y: 6, Z: 2.0},
+	{X: 4, Y: -11, Z: 1.8},
+}
+
+func parsePair(s string) ([2]int, error) {
+	parts := strings.Split(s, "-")
+	if len(parts) != 2 {
+		return [2]int{}, fmt.Errorf("want A-B, got %q", s)
+	}
+	a, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return [2]int{}, err
+	}
+	b, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return [2]int{}, err
+	}
+	return [2]int{a, b}, nil
+}
+
+func main() {
+	var (
+		envName  = flag.String("env", "dock", "environment: pool, dock, viewpoint, boathouse")
+		n        = flag.Int("n", 5, "number of divers (3-8)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		occlude  = flag.String("occlude", "", "occluded link as A-B (direct path blocked)")
+		drop     = flag.String("drop", "", "dropped link as A-B (no acoustic path)")
+		move     = flag.Int("move", -1, "device id to set in motion (~0.3 m/s)")
+		pointErr = flag.Float64("pointing-err", 0, "leader pointing error in degrees")
+	)
+	flag.Parse()
+
+	env, err := uwpos.EnvironmentByName(*envName)
+	if err != nil {
+		fatal(err)
+	}
+	if *n < 3 || *n > len(layout) {
+		fatal(fmt.Errorf("n must be 3..%d", len(layout)))
+	}
+	cfg := uwpos.SystemConfig{
+		Env:              env,
+		Seed:             *seed,
+		PointingErrorRad: *pointErr * math.Pi / 180,
+	}
+	for i := 0; i < *n; i++ {
+		d := uwpos.Diver{Pos: layout[i]}
+		if d.Pos.Z > env.BottomDepthM-0.5 {
+			d.Pos.Z = env.BottomDepthM - 0.5
+		}
+		if i == *move {
+			d.Velocity = uwpos.Vec3{X: 0.2, Y: 0.2}
+		}
+		cfg.Divers = append(cfg.Divers, d)
+	}
+	if *occlude != "" {
+		p, err := parsePair(*occlude)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.OccludedLinks = append(cfg.OccludedLinks, p)
+	}
+	if *drop != "" {
+		p, err := parsePair(*drop)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.DroppedLinks = append(cfg.DroppedLinks, p)
+	}
+
+	sys, err := uwpos.NewSystem(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("running one localization round: %d divers, %s environment, seed %d\n",
+		*n, env.Name, *seed)
+	out, err := sys.Locate()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\nprotocol latency: %.2f s\n", out.LatencySec)
+	fmt.Printf("residual stress: %.2f m", out.Result.ResidualStress)
+	if len(out.Result.DroppedLinks) > 0 {
+		fmt.Printf(" (outlier links dropped: %v)", out.Result.DroppedLinks)
+	}
+	fmt.Println()
+
+	fmt.Println("\ndevice   estimated (x, y, depth)        true (rel. leader)            err2D")
+	for i, p := range out.Result.Positions {
+		truth := cfg.Divers[i].Pos.Sub(cfg.Divers[0].Pos)
+		truth.Z = cfg.Divers[i].Pos.Z
+		tag := ""
+		switch i {
+		case 0:
+			tag = " (leader)"
+		case 1:
+			tag = " (pointed)"
+		}
+		fmt.Printf("%4d%-10s (%6.2f, %6.2f, %5.2f)   (%6.2f, %6.2f, %5.2f)   %5.2f m\n",
+			i, tag, p.Pos.X, p.Pos.Y, p.Pos.Z, truth.X, truth.Y, truth.Z, out.Err2D[i])
+	}
+
+	fmt.Println("\npairwise distances (estimated / true):")
+	for i := 0; i < *n; i++ {
+		for j := i + 1; j < *n; j++ {
+			td := cfg.Divers[i].Pos.Dist(cfg.Divers[j].Pos)
+			if out.Weights[i][j] > 0 {
+				fmt.Printf("  %d-%d: %6.2f / %6.2f m\n", i, j, out.Distances[i][j], td)
+			} else {
+				fmt.Printf("  %d-%d:   lost / %6.2f m\n", i, j, td)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uwsim:", err)
+	os.Exit(1)
+}

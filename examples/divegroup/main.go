@@ -1,0 +1,66 @@
+// Divegroup: the scenarios the paper's intro motivates — silt-out
+// conditions where a diver is occluded and another is out of range.
+// Demonstrates outlier detection (Algorithm 1) and missing-link topology.
+//
+//	go run ./examples/divegroup
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uwpos"
+)
+
+func main() {
+	divers := []uwpos.Diver{
+		{Pos: uwpos.Vec3{X: 0, Y: 0, Z: 1.5}},   // leader / instructor
+		{Pos: uwpos.Vec3{X: 6, Y: 1.5, Z: 1.5}}, // visible buddy
+		{Pos: uwpos.Vec3{X: 13, Y: -5, Z: 1.5}},
+		{Pos: uwpos.Vec3{X: 10, Y: 8, Z: 3.5}},
+		{Pos: uwpos.Vec3{X: 20, Y: 2, Z: 2.5}},
+	}
+
+	fmt.Println("--- clean baseline round ---")
+	run(uwpos.SystemConfig{Env: uwpos.Dock(), Divers: divers, Seed: 7})
+
+	fmt.Println("\n--- a silt cloud occludes the leader↔buddy direct path ---")
+	fmt.Println("(severe multipath inflates that link; Algorithm 1 must drop it)")
+	run(uwpos.SystemConfig{
+		Env: uwpos.Dock(), Divers: divers, Seed: 7,
+		OccludedLinks: [][2]int{{0, 1}},
+	})
+
+	fmt.Println("\n--- diver 2 and diver 4 cannot hear each other at all ---")
+	fmt.Println("(the topology solve works with the missing link)")
+	run(uwpos.SystemConfig{
+		Env: uwpos.Dock(), Divers: divers, Seed: 7,
+		DroppedLinks: [][2]int{{2, 4}},
+	})
+}
+
+func run(cfg uwpos.SystemConfig) {
+	sys, err := uwpos.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := sys.Locate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst := 0.0
+	for _, e := range out.Err2D {
+		if e > worst {
+			worst = e
+		}
+	}
+	fmt.Printf("residual stress %.2f m, worst 2D error %.2f m\n",
+		out.Result.ResidualStress, worst)
+	if len(out.Result.DroppedLinks) > 0 {
+		fmt.Printf("outlier links dropped by Algorithm 1: %v\n", out.Result.DroppedLinks)
+	}
+	for _, p := range out.Result.Positions {
+		fmt.Printf("  diver %d at (%.1f, %.1f, %.1f), err %.2f m\n",
+			p.Device, p.Pos.X, p.Pos.Y, p.Pos.Z, out.Err2D[p.Device])
+	}
+}

@@ -1,0 +1,56 @@
+// Mobility: track a swimming diver across repeated localization rounds —
+// the §3.2 mobility study as an application loop.
+//
+//	go run ./examples/mobility
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uwpos"
+)
+
+func main() {
+	// Diver 2 swims at ~0.3 m/s; everyone else holds position. Each
+	// Locate() is an independent user-initiated round, as the paper
+	// recommends (no continuous acoustic tracking, §5).
+	base := []uwpos.Diver{
+		{Pos: uwpos.Vec3{X: 0, Y: 0, Z: 2.0}},
+		{Pos: uwpos.Vec3{X: 6, Y: 1.5, Z: 2.5}},
+		{Pos: uwpos.Vec3{X: 12, Y: -4, Z: 1.5}},
+		{Pos: uwpos.Vec3{X: 10, Y: 8, Z: 3.5}},
+		{Pos: uwpos.Vec3{X: 20, Y: 2, Z: 2.5}},
+	}
+	tracker := uwpos.NewGroupTracker(uwpos.TrackerConfig{})
+	fmt.Println("round  diver2 true x(m)  raw fix x(m)  tracked x(m)  vel est(m/s)  2D err(m)")
+	for round := 0; round < 5; round++ {
+		divers := make([]uwpos.Diver, len(base))
+		copy(divers, base)
+		// The swimmer has progressed ~2.4 m per round (8 s of swimming
+		// between user-initiated rounds), and keeps moving mid-round.
+		divers[2].Pos.X = base[2].Pos.X + 2.4*float64(round)
+		divers[2].Velocity = uwpos.Vec3{X: 0.3}
+		sys, err := uwpos.NewSystem(uwpos.SystemConfig{
+			Env: uwpos.Dock(), Divers: divers, Seed: int64(1000 + round),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := sys.Locate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		tRound := 8.0 * float64(round)
+		if err := tracker.AddRound(tRound, out.Result); err != nil {
+			log.Fatal(err)
+		}
+		est := out.Result.Positions[2].Pos
+		smoothed := tracker.PositionsAt(tRound)[2]
+		fmt.Printf("%5d  %16.2f  %12.2f  %12.2f  %12.2f  %8.2f\n",
+			round, divers[2].Pos.X, est.X, smoothed.X,
+			tracker.VelocityOf(2).Norm(), out.Err2D[2])
+	}
+	fmt.Println("\nthe tracker (a §5 future-work extension) fuses rounds into a")
+	fmt.Println("position+velocity track without continuous acoustic transmission.")
+}

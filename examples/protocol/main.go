@@ -1,0 +1,59 @@
+// Protocol: what the distributed timestamp protocol does on the wire —
+// including a device that cannot hear the leader and synchronizes off a
+// peer's slot (§2.3).
+//
+//	go run ./examples/protocol
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uwpos"
+)
+
+func main() {
+	divers := []uwpos.Diver{
+		{Pos: uwpos.Vec3{X: 0, Y: 0, Z: 2.0}},   // 0: leader
+		{Pos: uwpos.Vec3{X: 6, Y: 1.5, Z: 2.5}}, // 1: pointed
+		{Pos: uwpos.Vec3{X: 13, Y: -5, Z: 1.5}}, // 2
+		{Pos: uwpos.Vec3{X: 10, Y: 8, Z: 3.5}},  // 3
+		{Pos: uwpos.Vec3{X: 20, Y: 2, Z: 2.5}},  // 4: will lose the leader link
+	}
+
+	fmt.Println("=== all devices hear the leader ===")
+	show(uwpos.SystemConfig{Env: uwpos.Dock(), Divers: divers, Seed: 3})
+
+	fmt.Println("\n=== device 4 cannot hear the leader (out of range) ===")
+	fmt.Println("it synchronizes off the first peer slot it hears; the leader")
+	fmt.Println("recovers the 0-4 distance through one-way + helper arithmetic")
+	show(uwpos.SystemConfig{
+		Env: uwpos.Dock(), Divers: divers, Seed: 3,
+		DroppedLinks: [][2]int{{0, 4}},
+	})
+}
+
+func show(cfg uwpos.SystemConfig) {
+	sys, err := uwpos.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := sys.Locate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := len(cfg.Divers)
+	fmt.Printf("protocol latency: %.2f s (paper: Δ0 + (N−1)·Δ1 = %.2f s for N=%d)\n",
+		out.LatencySec, 0.6+float64(n-1)*0.32, n)
+	fmt.Println("resolved pairwise distances (m):")
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			truth := cfg.Divers[i].Pos.Dist(cfg.Divers[j].Pos)
+			if out.Weights[i][j] > 0 {
+				fmt.Printf("  %d-%d: %6.2f (true %6.2f)\n", i, j, out.Distances[i][j], truth)
+			} else {
+				fmt.Printf("  %d-%d:   lost (true %6.2f)\n", i, j, truth)
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Quickstart: localize a five-diver group in a lake with one call.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uwpos"
+)
+
+func main() {
+	// The leader (device 0) points at the nearest diver (device 1); the
+	// rest can be anywhere in acoustic range, even out of sight.
+	sys, err := uwpos.NewSystem(uwpos.SystemConfig{
+		Env: uwpos.Dock(),
+		Divers: []uwpos.Diver{
+			{Pos: uwpos.Vec3{X: 0, Y: 0, Z: 2.0}},   // leader
+			{Pos: uwpos.Vec3{X: 6, Y: 1.5, Z: 2.5}}, // pointed buddy
+			{Pos: uwpos.Vec3{X: 13, Y: -5, Z: 1.5}},
+			{Pos: uwpos.Vec3{X: 10, Y: 8, Z: 3.5}},
+			{Pos: uwpos.Vec3{X: 20, Y: 2, Z: 2.5}},
+		},
+		Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One round: acoustic protocol, ranging, report-back, localization.
+	out, err := sys.Locate()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("protocol round took %.2f s\n", out.LatencySec)
+	for _, p := range out.Result.Positions {
+		fmt.Printf("diver %d: x=%6.2f m  y=%6.2f m  depth=%5.2f m  (2D err %.2f m)\n",
+			p.Device, p.Pos.X, p.Pos.Y, p.Pos.Z, out.Err2D[p.Device])
+	}
+}

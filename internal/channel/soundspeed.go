@@ -1,0 +1,26 @@
+// Package channel models the underwater acoustic channel: sound speed,
+// image-method multipath, absorption and spreading loss, ambient and
+// impulsive noise, and occlusions — the substrate that stands in for the
+// paper's pools, docks and lakes (§3, Fig. 10).
+package channel
+
+// SoundSpeed returns the underwater speed of sound in m/s from Wilson's
+// equation as quoted in §2 of the paper:
+//
+//	c = 1449 + 4.6·T − 0.055·T² + 0.0003·T³ + 1.39·(S−35) + 0.017·D
+//
+// with T the temperature in °C, S the salinity in parts per thousand and
+// D the depth in metres.
+func SoundSpeed(tempC, salinityPPT, depthM float64) float64 {
+	t := tempC
+	return 1449 + 4.6*t - 0.055*t*t + 0.0003*t*t*t + 1.39*(salinityPPT-35) + 0.017*depthM
+}
+
+// ThorpAbsorptionDBPerKm returns the seawater absorption coefficient in
+// dB/km at frequency f (Hz) using Thorp's empirical formula. In the
+// device's 1–5 kHz band this is a fraction of a dB per km — negligible at
+// dive-group ranges but included for physical completeness.
+func ThorpAbsorptionDBPerKm(fHz float64) float64 {
+	f2 := (fHz / 1000) * (fHz / 1000) // kHz²
+	return 0.11*f2/(1+f2) + 44*f2/(4100+f2) + 2.75e-4*f2 + 0.003
+}

@@ -1,0 +1,369 @@
+package comm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBits(r *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(r.Intn(2))
+	}
+	return b
+}
+
+func TestEncodeDecodeClean(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 8, 64, 200} {
+		bits := randBits(r, n)
+		coded := Encode(bits)
+		if len(coded) != CodedLen(n) {
+			t.Fatalf("n=%d: coded length %d, want %d", n, len(coded), CodedLen(n))
+		}
+		got, err := Decode(coded, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range bits {
+			if got[i] != bits[i] {
+				t.Fatalf("n=%d: bit %d differs", n, i)
+			}
+		}
+	}
+}
+
+func TestCodeRateIsTwoThirds(t *testing.T) {
+	// Asymptotically 3 coded bits per 2 payload bits.
+	n := 1000
+	ratio := float64(CodedLen(n)) / float64(n)
+	if ratio < 1.45 || ratio > 1.60 {
+		t.Errorf("rate ratio %g, want ~1.5", ratio)
+	}
+}
+
+func TestDecodeCorrectsBitErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	bits := randBits(r, 120)
+	coded := Encode(bits)
+	// Flip 3 well-separated coded bits: within the code's correction power.
+	for _, pos := range []int{10, 70, 140} {
+		coded[pos] ^= 1
+	}
+	got, err := Decode(coded, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatalf("bit %d not corrected", i)
+		}
+	}
+}
+
+func TestDecodeCorrectsErrorsProperty(t *testing.T) {
+	// Random single-burst-free sparse errors (≤2% BER) decode perfectly.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		bits := randBits(r, 100)
+		coded := Encode(bits)
+		flips := 1 + r.Intn(3)
+		for k := 0; k < flips; k++ {
+			// Spread flips at least 30 positions apart.
+			pos := (k*len(coded)/flips + r.Intn(10)) % len(coded)
+			coded[pos] ^= 1
+		}
+		got, err := Decode(coded, 100)
+		if err != nil {
+			return false
+		}
+		for i := range bits {
+			if got[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeShortStream(t *testing.T) {
+	if _, err := Decode([]byte{1, 0, 1}, 100); err == nil {
+		t.Error("short stream should error")
+	}
+}
+
+func TestReportPackUnpack(t *testing.T) {
+	const n = 5
+	r := &Report{
+		DeviceID:    2,
+		DepthM:      7.4,
+		OffsetsSamp: []float64{100, 250.4, math.NaN(), 1850, 0},
+	}
+	r.OffsetsSamp[2] = math.NaN() // own slot
+	bits, err := r.PackBits(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bits) != PayloadBits(n) {
+		t.Fatalf("payload %d bits, want %d", len(bits), PayloadBits(n))
+	}
+	got, err := UnpackBits(bits, 2, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.DepthM-7.4) > DepthResolutionM/2 {
+		t.Errorf("depth %g, want 7.4±0.1", got.DepthM)
+	}
+	for j, want := range []float64{100, 250.4, math.NaN(), 1850, 0} {
+		gotV := got.OffsetsSamp[j]
+		if j == 2 {
+			if !math.IsNaN(gotV) {
+				t.Errorf("own offset should be NaN")
+			}
+			continue
+		}
+		if math.IsNaN(want) != math.IsNaN(gotV) {
+			t.Errorf("offset %d NaN mismatch", j)
+			continue
+		}
+		if !math.IsNaN(want) && math.Abs(gotV-want) > TimestampScale {
+			t.Errorf("offset %d = %g, want %g±%d", j, gotV, want, TimestampScale)
+		}
+	}
+}
+
+func TestReportPackRejects(t *testing.T) {
+	r := &Report{DeviceID: 0, DepthM: 55, OffsetsSamp: []float64{math.NaN(), 0, 0}}
+	if _, err := r.PackBits(3); err == nil {
+		t.Error("over-depth should error")
+	}
+	r.DepthM = 5
+	r.OffsetsSamp = []float64{math.NaN(), 0}
+	if _, err := r.PackBits(3); err == nil {
+		t.Error("wrong offsets length should error")
+	}
+	r.OffsetsSamp = []float64{math.NaN(), 99999, 0}
+	if _, err := r.PackBits(3); err == nil {
+		t.Error("out-of-range offset should error")
+	}
+	if _, err := UnpackBits([]byte{1, 0}, 0, 3); err == nil {
+		t.Error("wrong bit count should error")
+	}
+}
+
+func TestPaperPayloadSize(t *testing.T) {
+	// §2.4: 10(N−1)+8 bits; we add N heard-flag bits and a CRC-8.
+	for _, n := range []int{4, 6, 8} {
+		want := 10*(n-1) + 8 + n + 8
+		if got := PayloadBits(n); got != want {
+			t.Errorf("N=%d payload %d bits, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCRCDetectsCorruption(t *testing.T) {
+	const n = 5
+	r := &Report{DeviceID: 1, DepthM: 4.2, OffsetsSamp: make([]float64, n)}
+	for j := range r.OffsetsSamp {
+		r.OffsetsSamp[j] = float64(50 * j)
+	}
+	r.OffsetsSamp[1] = math.NaN()
+	bits, err := r.PackBits(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnpackBits(bits, 1, n); err != nil {
+		t.Fatalf("clean frame rejected: %v", err)
+	}
+	// Any single flipped bit must be caught.
+	for i := range bits {
+		bits[i] ^= 1
+		if _, err := UnpackBits(bits, 1, n); err == nil {
+			t.Fatalf("flip at %d not detected", i)
+		}
+		bits[i] ^= 1
+	}
+}
+
+func TestModemTones(t *testing.T) {
+	m := NewModem(5, 44100)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prevHigh := 0.0
+	for id := 0; id < 5; id++ {
+		f0, f1 := m.Tones(id)
+		if f0 >= f1 {
+			t.Errorf("device %d tones misordered", id)
+		}
+		if f0 <= prevHigh {
+			t.Errorf("device %d band overlaps previous", id)
+		}
+		if f0 < m.BandLowHz || f1 > m.BandHighHz {
+			t.Errorf("device %d tones out of band", id)
+		}
+		prevHigh = f1
+	}
+}
+
+func TestModemValidateRejects(t *testing.T) {
+	m := NewModem(1, 44100)
+	if err := m.Validate(); err == nil {
+		t.Error("group of 1 should fail")
+	}
+	m = NewModem(5, 44100)
+	m.BitRate = 0
+	if err := m.Validate(); err == nil {
+		t.Error("zero bit rate should fail")
+	}
+	// 40 devices in 4 kHz: 33 Hz tone separation < 100 bps.
+	m = NewModem(40, 44100)
+	if err := m.Validate(); err == nil {
+		t.Error("overcrowded band should fail")
+	}
+}
+
+func TestModemRoundTripClean(t *testing.T) {
+	m := NewModem(5, 44100)
+	r := rand.New(rand.NewSource(3))
+	bits := randBits(r, 60)
+	wave := m.Modulate(2, bits)
+	if len(wave) != 60*m.SamplesPerBit() {
+		t.Fatal("waveform length")
+	}
+	got, err := m.Demodulate(2, wave, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatalf("bit %d flipped", i)
+		}
+	}
+}
+
+func TestModemPanicsOnBadDevice(t *testing.T) {
+	m := NewModem(4, 44100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Tones(4)
+}
+
+func TestConcurrentSubBandsDoNotInterfere(t *testing.T) {
+	// All devices transmit simultaneously in their own sub-bands; the
+	// leader demodulates each without cross-talk (§2.4's concurrency).
+	const n = 5
+	m := NewModem(n, 44100)
+	r := rand.New(rand.NewSource(4))
+	payloads := make([][]byte, n)
+	var mixed []float64
+	for id := 1; id < n; id++ {
+		payloads[id] = randBits(r, 40)
+		w := m.Modulate(id, payloads[id])
+		if mixed == nil {
+			mixed = make([]float64, len(w))
+		}
+		for i := range w {
+			mixed[i] += w[i]
+		}
+	}
+	// Ambient noise on top.
+	for i := range mixed {
+		mixed[i] += 0.3 * r.NormFloat64()
+	}
+	for id := 1; id < n; id++ {
+		got, err := m.Demodulate(id, mixed, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errors := 0
+		for i := range got {
+			if got[i] != payloads[id][i] {
+				errors++
+			}
+		}
+		if errors > 0 {
+			t.Errorf("device %d: %d/%d bit errors in concurrent transmission", id, errors, 40)
+		}
+	}
+}
+
+func TestTransmitReceiveReportEndToEnd(t *testing.T) {
+	const n = 6
+	m := NewModem(n, 44100)
+	rep := &Report{
+		DeviceID:    3,
+		DepthM:      12.6,
+		OffsetsSamp: make([]float64, n),
+	}
+	for j := range rep.OffsetsSamp {
+		rep.OffsetsSamp[j] = float64(100 + 300*j)
+	}
+	rep.OffsetsSamp[3] = math.NaN()
+	rep.OffsetsSamp[5] = math.NaN() // not heard
+	wave, err := m.TransmitReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Channel: noise + attenuation.
+	r := rand.New(rand.NewSource(5))
+	rx := make([]float64, len(wave)+2000)
+	for i := range rx {
+		rx[i] = 0.2 * r.NormFloat64()
+	}
+	for i, v := range wave {
+		rx[1000+i] += 0.8 * v
+	}
+	got, err := m.ReceiveReport(rx, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.DepthM-12.6) > DepthResolutionM {
+		t.Errorf("depth %g", got.DepthM)
+	}
+	for j := range rep.OffsetsSamp {
+		if math.IsNaN(rep.OffsetsSamp[j]) != math.IsNaN(got.OffsetsSamp[j]) {
+			t.Errorf("offset %d NaN mismatch", j)
+		} else if !math.IsNaN(rep.OffsetsSamp[j]) && math.Abs(got.OffsetsSamp[j]-rep.OffsetsSamp[j]) > TimestampScale {
+			t.Errorf("offset %d = %g, want %g", j, got.OffsetsSamp[j], rep.OffsetsSamp[j])
+		}
+	}
+	if _, err := m.ReceiveReport(rx, -1, 3); err == nil {
+		t.Error("negative start should error")
+	}
+}
+
+func TestReportDurationMatchesPaper(t *testing.T) {
+	// §2.4: ~0.9, 1.0, 1.2 s for N = 6, 7, 8 at 100 bps (paper counts
+	// 10(N−1)+8 bits with 2/3 coding; our frame adds N heard-flags).
+	for _, c := range []struct {
+		n   int
+		max float64
+	}{{6, 1.3}, {7, 1.45}, {8, 1.6}} {
+		m := NewModem(c.n, 44100)
+		d := m.ReportDuration()
+		if d < 0.7 || d > c.max {
+			t.Errorf("N=%d report duration %g s outside [0.7, %g]", c.n, d, c.max)
+		}
+	}
+}
+
+func BenchmarkViterbiDecode(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	bits := randBits(r, 200)
+	coded := Encode(bits)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(coded, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

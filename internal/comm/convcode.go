@@ -1,0 +1,164 @@
+// Package comm implements the report-back communication system of §2.4:
+// timestamp/depth compression into a compact frame, rate-2/3 punctured
+// convolutional coding with Viterbi decoding, and the per-device FSK
+// modem that lets all divers reply to the leader simultaneously in
+// disjoint sub-bands.
+package comm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Convolutional code: the industry-standard rate-1/2, K=7 code with
+// generators 0o171 and 0o133, punctured to rate 2/3 with the pattern
+// [1 1 / 1 0] (drop every fourth coded bit).
+
+const (
+	constraintLen = 7
+	numStates     = 1 << (constraintLen - 1) // 64
+	genA          = 0o171
+	genB          = 0o133
+)
+
+// parity returns the parity of x.
+func parity(x int) int {
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return x & 1
+}
+
+// encodeRate12 runs the mother rate-1/2 encoder, returning 2 coded bits
+// per input bit (+ tail). The encoder is flushed with K−1 zero bits so the
+// decoder can terminate in state 0.
+func encodeRate12(bits []byte) []byte {
+	state := 0
+	out := make([]byte, 0, 2*(len(bits)+constraintLen-1))
+	emit := func(b byte) {
+		state = ((state << 1) | int(b&1)) & (1<<constraintLen - 1)
+		out = append(out, byte(parity(state&genA)), byte(parity(state&genB)))
+	}
+	for _, b := range bits {
+		emit(b)
+	}
+	for i := 0; i < constraintLen-1; i++ {
+		emit(0)
+	}
+	return out
+}
+
+// punctureMask reports whether coded position idx survives the 2/3
+// puncturing pattern [1 1 / 1 0]: of every 4 mother bits, the 4th is
+// dropped.
+func punctureMask(idx int) bool { return idx%4 != 3 }
+
+// Encode convolutionally encodes data bits at rate 2/3 (mother 1/2 +
+// puncturing). Input and output are bit-per-byte slices (values 0/1).
+func Encode(bits []byte) []byte {
+	mother := encodeRate12(bits)
+	out := make([]byte, 0, len(mother)*3/4+2)
+	for i, b := range mother {
+		if punctureMask(i) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Decode runs hard-decision Viterbi over the punctured stream and returns
+// the decoded payload of payloadLen bits. Punctured positions contribute
+// no branch metric (treated as erasures). Returns an error if the stream
+// is shorter than the puncturing demands.
+func Decode(coded []byte, payloadLen int) ([]byte, error) {
+	totalIn := payloadLen + constraintLen - 1 // with tail
+	motherLen := 2 * totalIn
+	// Reconstruct mother stream with erasures.
+	type symbol struct {
+		a, b int8 // 0/1, or -1 for erasure
+	}
+	syms := make([]symbol, totalIn)
+	pos := 0
+	for i := 0; i < motherLen; i++ {
+		s := &syms[i/2]
+		var v int8 = -1
+		if punctureMask(i) {
+			if pos >= len(coded) {
+				return nil, fmt.Errorf("comm: coded stream too short: have %d, need more", len(coded))
+			}
+			v = int8(coded[pos] & 1)
+			pos++
+		}
+		if i%2 == 0 {
+			s.a = v
+		} else {
+			s.b = v
+		}
+	}
+
+	const inf = math.MaxInt32 / 2
+	dist := make([]int32, numStates)
+	next := make([]int32, numStates)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[0] = 0
+	// The state register holds the last K−1 input bits; the transition
+	// st → ns = ((st<<1)|in) mod 2^(K−1) drops st's high bit. The input
+	// bit is ns's low bit, so backtracking only needs that lost high bit.
+	back := make([][]int8, totalIn)
+	for step := 0; step < totalIn; step++ {
+		back[step] = make([]int8, numStates)
+		for i := range next {
+			next[i] = inf
+		}
+		sym := syms[step]
+		for st := 0; st < numStates; st++ {
+			if dist[st] >= inf {
+				continue
+			}
+			for in := 0; in <= 1; in++ {
+				full := ((st << 1) | in) & (1<<constraintLen - 1)
+				outA := parity(full & genA)
+				outB := parity(full & genB)
+				var metric int32
+				if sym.a >= 0 && int8(outA) != sym.a {
+					metric++
+				}
+				if sym.b >= 0 && int8(outB) != sym.b {
+					metric++
+				}
+				ns := full & (numStates - 1)
+				if d := dist[st] + metric; d < next[ns] {
+					next[ns] = d
+					back[step][ns] = int8((st >> (constraintLen - 2)) & 1)
+				}
+			}
+		}
+		dist, next = next, dist
+	}
+	// Terminated in state 0 by the tail.
+	state := 0
+	decoded := make([]byte, totalIn)
+	for step := totalIn - 1; step >= 0; step-- {
+		decoded[step] = byte(state & 1) // the input bit that formed this state
+		hi := int(back[step][state])
+		state = (state >> 1) | (hi << (constraintLen - 2))
+	}
+	return decoded[:payloadLen], nil
+}
+
+// CodedLen returns the number of coded bits Encode produces for n payload
+// bits.
+func CodedLen(n int) int {
+	mother := 2 * (n + constraintLen - 1)
+	cnt := 0
+	for i := 0; i < mother; i++ {
+		if punctureMask(i) {
+			cnt++
+		}
+	}
+	return cnt
+}

@@ -1,0 +1,160 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Frame compression constants from §2.4.
+const (
+	DepthResolutionM  = 0.2  // 0.2 m depth quantization
+	DepthBits         = 8    // depths 0–40 m → 0–200 < 2^8
+	MaxDepthM         = 40.0 // recreational dive limit
+	TimestampBits     = 10   // slot-relative diffs at 2-sample resolution
+	TimestampScale    = 2    // samples per quantization step
+	MaxTimestampSteps = 1 << TimestampBits
+)
+
+// Report is one device's payload back to the leader: its depth and, for
+// every other device, the arrival offset of that device's message relative
+// to its assigned slot (bounded by [0, 2·τ_max), §2.4).
+type Report struct {
+	DeviceID     int
+	DepthM       float64
+	OffsetsSamp  []float64 // per remote device; NaN = not heard
+	HeardBitmask uint16    // bit j set when device j was heard
+}
+
+// PackBits serializes the report for N total devices into bits
+// (8 depth bits + 10 bits per remote device + N heard-flags).
+// Offsets must fit [0, MaxTimestampSteps·TimestampScale) samples.
+func (r *Report) PackBits(n int) ([]byte, error) {
+	if r.DepthM < 0 || r.DepthM > MaxDepthM {
+		return nil, fmt.Errorf("comm: depth %.2f m outside [0, %g]", r.DepthM, MaxDepthM)
+	}
+	if len(r.OffsetsSamp) != n {
+		return nil, fmt.Errorf("comm: %d offsets for %d devices", len(r.OffsetsSamp), n)
+	}
+	bits := make([]byte, 0, PayloadBits(n))
+	dq := int(math.Round(r.DepthM / DepthResolutionM))
+	bits = appendUint(bits, uint(dq), DepthBits)
+	// Heard flags.
+	for j := 0; j < n; j++ {
+		heard := j != r.DeviceID && !math.IsNaN(r.OffsetsSamp[j])
+		if heard {
+			bits = append(bits, 1)
+		} else {
+			bits = append(bits, 0)
+		}
+	}
+	for j := 0; j < n; j++ {
+		if j == r.DeviceID {
+			continue
+		}
+		v := 0
+		if !math.IsNaN(r.OffsetsSamp[j]) {
+			v = int(math.Round(r.OffsetsSamp[j] / TimestampScale))
+			if v < 0 || v >= MaxTimestampSteps {
+				return nil, fmt.Errorf("comm: offset %d steps for device %d out of range", v, j)
+			}
+		}
+		bits = appendUint(bits, uint(v), TimestampBits)
+	}
+	return AppendCRC(bits), nil
+}
+
+// UnpackBits reverses PackBits for a report from deviceID in an N-device
+// group, verifying the CRC first.
+func UnpackBits(bits []byte, deviceID, n int) (*Report, error) {
+	if len(bits) != PayloadBits(n) {
+		return nil, fmt.Errorf("comm: report length %d, want %d", len(bits), PayloadBits(n))
+	}
+	bits, err := CheckCRC(bits)
+	if err != nil {
+		return nil, err
+	}
+	pos := 0
+	dq, pos := readUint(bits, pos, DepthBits)
+	r := &Report{
+		DeviceID:    deviceID,
+		DepthM:      float64(dq) * DepthResolutionM,
+		OffsetsSamp: make([]float64, n),
+	}
+	heard := make([]bool, n)
+	for j := 0; j < n; j++ {
+		heard[j] = bits[pos] == 1
+		if heard[j] {
+			r.HeardBitmask |= 1 << uint(j)
+		}
+		pos++
+	}
+	for j := 0; j < n; j++ {
+		if j == deviceID {
+			r.OffsetsSamp[j] = math.NaN()
+			continue
+		}
+		var v uint
+		v, pos = readUint(bits, pos, TimestampBits)
+		if heard[j] {
+			r.OffsetsSamp[j] = float64(v) * TimestampScale
+		} else {
+			r.OffsetsSamp[j] = math.NaN()
+		}
+	}
+	return r, nil
+}
+
+// PayloadBits returns the report size in bits for an N-device group
+// (the paper quotes 10(N−1)+8; we add N heard-flags for explicit loss
+// signalling and a CRC-8 so corrupted frames are dropped instead of
+// silently poisoning the topology solve).
+func PayloadBits(n int) int { return DepthBits + n + (n-1)*TimestampBits + 8 }
+
+// CRC-8/ATM (poly 0x07) over the frame bits.
+func crc8(bits []byte) byte {
+	var crc byte
+	for _, b := range bits {
+		crc ^= (b & 1) << 7
+		if crc&0x80 != 0 {
+			crc = (crc << 1) ^ 0x07
+		} else {
+			crc <<= 1
+		}
+	}
+	return crc
+}
+
+// AppendCRC appends the 8 CRC bits to a frame.
+func AppendCRC(bits []byte) []byte {
+	c := crc8(bits)
+	return appendUint(bits, uint(c), 8)
+}
+
+// CheckCRC verifies and strips the trailing 8 CRC bits.
+func CheckCRC(bits []byte) ([]byte, error) {
+	if len(bits) < 8 {
+		return nil, fmt.Errorf("comm: frame too short for CRC")
+	}
+	body := bits[:len(bits)-8]
+	want, _ := readUint(bits, len(bits)-8, 8)
+	if crc8(body) != byte(want) {
+		return nil, fmt.Errorf("comm: CRC mismatch")
+	}
+	return body, nil
+}
+
+func appendUint(bits []byte, v uint, width int) []byte {
+	for b := width - 1; b >= 0; b-- {
+		bits = append(bits, byte((v>>uint(b))&1))
+	}
+	return bits
+}
+
+func readUint(bits []byte, pos, width int) (uint, int) {
+	var v uint
+	for b := 0; b < width; b++ {
+		v = (v << 1) | uint(bits[pos]&1)
+		pos++
+	}
+	return v, pos
+}

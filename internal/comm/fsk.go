@@ -1,0 +1,151 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+
+	"uwpos/internal/sig"
+)
+
+// Modem is the per-device binary FSK modem of §2.4: the 1–5 kHz band is
+// split into N sub-bands; device i signals bit 0/1 with two tones inside
+// its own sub-band, so all devices can report to the leader concurrently.
+type Modem struct {
+	SampleRate float64
+	BandLowHz  float64
+	BandHighHz float64
+	GroupSize  int     // number of devices sharing the band
+	BitRate    float64 // bits per second (paper: 100 bps per device)
+}
+
+// NewModem returns the paper's configuration for an N-device group.
+func NewModem(groupSize int, fs float64) *Modem {
+	return &Modem{
+		SampleRate: fs,
+		BandLowHz:  1000,
+		BandHighHz: 5000,
+		GroupSize:  groupSize,
+		BitRate:    100,
+	}
+}
+
+// Validate sanity-checks modem parameters.
+func (m *Modem) Validate() error {
+	switch {
+	case m.GroupSize < 2:
+		return fmt.Errorf("comm: group size %d too small", m.GroupSize)
+	case m.BitRate <= 0 || m.SampleRate <= 0:
+		return fmt.Errorf("comm: non-positive rates")
+	case m.BandHighHz <= m.BandLowHz:
+		return fmt.Errorf("comm: invalid band")
+	}
+	if m.toneSeparation() < m.BitRate {
+		return fmt.Errorf("comm: sub-band too narrow: tone separation %.1f Hz below bit rate %.1f", m.toneSeparation(), m.BitRate)
+	}
+	return nil
+}
+
+// SamplesPerBit returns the bit duration in samples.
+func (m *Modem) SamplesPerBit() int { return int(math.Round(m.SampleRate / m.BitRate)) }
+
+func (m *Modem) subBandWidth() float64 {
+	return (m.BandHighHz - m.BandLowHz) / float64(m.GroupSize)
+}
+
+func (m *Modem) toneSeparation() float64 { return m.subBandWidth() / 3 }
+
+// Tones returns the (f0, f1) mark/space frequencies for a device.
+func (m *Modem) Tones(deviceID int) (f0, f1 float64) {
+	if deviceID < 0 || deviceID >= m.GroupSize {
+		panic(fmt.Sprintf("comm: device %d of %d", deviceID, m.GroupSize))
+	}
+	base := m.BandLowHz + float64(deviceID)*m.subBandWidth()
+	return base + m.subBandWidth()/3, base + 2*m.subBandWidth()/3
+}
+
+// Modulate converts coded bits into the device's FSK waveform with
+// continuous phase (CPFSK), then confines the spectrum to the device's
+// sub-band with a linear-phase filter. Transmit filtering is what makes
+// the concurrent §2.4 uplink survive the near–far problem: a 6 m diver is
+// ~10 dB louder at the leader than a 20 m diver in the adjacent band.
+func (m *Modem) Modulate(deviceID int, bits []byte) []float64 {
+	f0, f1 := m.Tones(deviceID)
+	spb := m.SamplesPerBit()
+	out := make([]float64, spb*len(bits))
+	phase := 0.0
+	idx := 0
+	for _, b := range bits {
+		f := f0
+		if b&1 == 1 {
+			f = f1
+		}
+		step := 2 * math.Pi * f / m.SampleRate
+		for s := 0; s < spb; s++ {
+			out[idx] = math.Sin(phase)
+			phase += step
+			idx++
+		}
+	}
+	// Confine to the sub-band with guard margins just inside the
+	// neighbours' tones.
+	width := m.subBandWidth()
+	base := m.BandLowHz + float64(deviceID)*width
+	return sig.BandLimit(out, base+width/12, base+width-width/12, m.SampleRate)
+}
+
+// Demodulate recovers nBits hard bits from a received waveform that starts
+// at the first bit boundary, comparing Goertzel energies at the device's
+// two tones per bit slot.
+func (m *Modem) Demodulate(deviceID int, rx []float64, nBits int) ([]byte, error) {
+	f0, f1 := m.Tones(deviceID)
+	spb := m.SamplesPerBit()
+	if len(rx) < spb*nBits {
+		return nil, fmt.Errorf("comm: rx too short: %d samples for %d bits of %d", len(rx), nBits, spb)
+	}
+	bits := make([]byte, nBits)
+	for i := 0; i < nBits; i++ {
+		seg := rx[i*spb : (i+1)*spb]
+		e0 := sig.Goertzel(seg, f0, m.SampleRate)
+		e1 := sig.Goertzel(seg, f1, m.SampleRate)
+		if e1 > e0 {
+			bits[i] = 1
+		}
+	}
+	return bits, nil
+}
+
+// TransmitReport encodes (frame → rate-2/3 convolutional → FSK) a report
+// for over-water transmission. Returns the waveform.
+func (m *Modem) TransmitReport(r *Report) ([]float64, error) {
+	bits, err := r.PackBits(m.GroupSize)
+	if err != nil {
+		return nil, err
+	}
+	coded := Encode(bits)
+	return m.Modulate(r.DeviceID, coded), nil
+}
+
+// ReceiveReport demodulates and decodes a report from deviceID embedded at
+// sample `start` of the rx stream.
+func (m *Modem) ReceiveReport(rx []float64, start, deviceID int) (*Report, error) {
+	if start < 0 || start >= len(rx) {
+		return nil, fmt.Errorf("comm: start %d out of stream", start)
+	}
+	payload := PayloadBits(m.GroupSize)
+	coded := CodedLen(payload)
+	bits, err := m.Demodulate(deviceID, rx[start:], coded)
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := Decode(bits, payload)
+	if err != nil {
+		return nil, err
+	}
+	return UnpackBits(decoded, deviceID, m.GroupSize)
+}
+
+// ReportDuration returns the on-air time of one report in seconds
+// (§2.4 quotes ~0.9–1.2 s for N = 6–8 at 100 bps).
+func (m *Modem) ReportDuration() float64 {
+	return float64(CodedLen(PayloadBits(m.GroupSize))) / m.BitRate
+}

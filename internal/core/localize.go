@@ -1,0 +1,301 @@
+// Package core implements the paper's primary contribution (§2.1):
+// anchor-free topology-based 3D localization. Given noisy, possibly
+// incomplete pairwise distances, per-device depths, and the dual-microphone
+// side observations at the leader, it
+//
+//  1. projects the problem to 2D using depths,
+//  2. estimates the topology with weighted SMACOF,
+//  3. detects and drops outlier links (Algorithm 1), gated so the
+//     remaining graph stays uniquely realizable,
+//  4. resolves the rotational ambiguity with the leader's pointing
+//     direction and the flipping ambiguity with a dual-mic vote, and
+//  5. lifts the result back to 3D with the measured depths.
+//
+// Device 0 is always the leader; device 1 is the diver the leader points
+// toward.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"uwpos/internal/geom"
+	"uwpos/internal/graph"
+	"uwpos/internal/mds"
+)
+
+// Input bundles one localization round.
+type Input struct {
+	// D is the N×N matrix of measured 3D pairwise distances (metres).
+	// Only entries with W > 0 are read.
+	D [][]float64
+	// W is the N×N link indicator/weight matrix: 0 marks a missing link.
+	W [][]float64
+	// Depths are per-device depths from onboard sensors (metres, +down).
+	Depths []float64
+	// MicSigns[i] is the sign of (mᵢ − nᵢ) observed by the leader's dual
+	// microphones for device i's transmission: +1 when the leader's mic 1
+	// (right of the pointing direction) heard it first, −1 for mic 2
+	// (left), 0 when unknown. Entries 0 and 1 are ignored.
+	MicSigns []int
+	// PointingBearing is the world-frame bearing (radians, from +x) the
+	// leader faces; device 1 is placed along it. Zero is a fine default
+	// when only relative positions matter.
+	PointingBearing float64
+}
+
+// Config tunes the pipeline.
+type Config struct {
+	// StressAccept is the normalized-stress acceptance threshold in
+	// metres (paper: 1.5).
+	StressAccept float64
+	// DropFraction is the minimum relative stress reduction for a drop
+	// subset to count as explaining the outliers (paper: 0.9).
+	DropFraction float64
+	// MaxOutliers caps how many links may be dropped (paper: 3).
+	MaxOutliers int
+	// MDS forwards solver options.
+	MDS mds.Options
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{StressAccept: 1.5, DropFraction: 0.9, MaxOutliers: 3}
+}
+
+// Result is a localization outcome.
+type Result struct {
+	// Positions are 3D positions (leader at origin of x–y, depths as
+	// measured). Positions[0] is the leader.
+	Positions []geom.Vec3
+	// Planar are the aligned 2D positions before lifting.
+	Planar []geom.Vec2
+	// NormStress is the final normalized stress (m).
+	NormStress float64
+	// Dropped lists links removed as outliers.
+	Dropped []graph.Edge
+	// FlipVote is the winning vote margin (≥ 0); 0 means the vote was
+	// uninformative and the unflipped candidate was kept.
+	FlipVote int
+	// OutlierSearch reports whether Algorithm 1 went past its fast path.
+	OutlierSearch bool
+}
+
+// Localize runs the full pipeline.
+func Localize(in Input, cfg Config) (*Result, error) {
+	n := len(in.D)
+	if n < 3 {
+		return nil, fmt.Errorf("core: need at least 3 devices, got %d (two divers can only range)", n)
+	}
+	if len(in.W) != n || len(in.Depths) != n {
+		return nil, fmt.Errorf("core: inconsistent input sizes (D %d, W %d, depths %d)", n, len(in.W), len(in.Depths))
+	}
+	if in.MicSigns != nil && len(in.MicSigns) != n {
+		return nil, fmt.Errorf("core: MicSigns length %d, want %d", len(in.MicSigns), n)
+	}
+	if in.W[0][1] <= 0 && in.W[1][0] <= 0 {
+		return nil, fmt.Errorf("core: leader must range to the pointed device (link 0-1 missing)")
+	}
+
+	d2d, err := ProjectTo2D(in.D, in.W, in.Depths)
+	if err != nil {
+		return nil, err
+	}
+
+	planar, normStress, dropped, searched, err := DetectOutliers(d2d, in.W, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	aligned := AlignToLeader(planar, in.PointingBearing)
+	flipped, vote := ResolveFlip(aligned, in.MicSigns, in.PointingBearing)
+
+	positions := make([]geom.Vec3, n)
+	for i := range positions {
+		positions[i] = flipped[i].WithZ(in.Depths[i])
+	}
+	return &Result{
+		Positions:     positions,
+		Planar:        flipped,
+		NormStress:    normStress,
+		Dropped:       dropped,
+		FlipVote:      vote,
+		OutlierSearch: searched,
+	}, nil
+}
+
+// ProjectTo2D converts 3D distances to horizontal-plane distances using
+// depths: D2D = sqrt(D² − Δh²) (§2.1.1). Measurement noise can push the
+// radicand negative (a nearly vertical pair); those distances clamp to 0.
+func ProjectTo2D(d, w [][]float64, depths []float64) ([][]float64, error) {
+	n := len(d)
+	if len(depths) != n {
+		return nil, fmt.Errorf("core: depths length %d, want %d", len(depths), n)
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		if len(d[i]) != n {
+			return nil, fmt.Errorf("core: distance row %d has length %d", i, len(d[i]))
+		}
+		out[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if wAt(w, i, j) <= 0 {
+				continue
+			}
+			dh := depths[i] - depths[j]
+			v := d[i][j]*d[i][j] - dh*dh
+			if v < 0 {
+				v = 0
+			}
+			out[i][j] = math.Sqrt(v)
+			out[j][i] = out[i][j]
+		}
+	}
+	return out, nil
+}
+
+func wAt(w [][]float64, i, j int) float64 {
+	a := w[i][j]
+	if b := w[j][i]; b > a {
+		return b
+	}
+	return a
+}
+
+// DetectOutliers is Algorithm 1: solve, and if the normalized stress
+// exceeds the acceptance threshold, search over drop subsets of growing
+// size — restricted to subsets whose removal keeps the link graph uniquely
+// realizable — keeping the candidate with the greatest stress reduction.
+func DetectOutliers(d2d, w [][]float64, cfg Config) (pos []geom.Vec2, stress float64, dropped []graph.Edge, searched bool, err error) {
+	if cfg.StressAccept == 0 {
+		cfg = DefaultConfig()
+	}
+	base, err := mds.Solve(d2d, w, cfg.MDS)
+	if err != nil {
+		return nil, 0, nil, false, err
+	}
+	if base.NormStress < cfg.StressAccept {
+		return base.Positions, base.NormStress, nil, false, nil
+	}
+
+	g := graph.FromWeights(w)
+	edges := g.Edges()
+	e0 := base.NormStress
+	p0 := base.Positions
+	var accumulatedDrop []graph.Edge
+
+	for nDrop := 1; nDrop <= cfg.MaxOutliers && nDrop <= len(edges); nDrop++ {
+		eMin := e0
+		pMin := p0
+		var bestDrop []graph.Edge
+		graph.Subsets(edges, nDrop, func(drop []graph.Edge) bool {
+			if !g.WithoutEdges(drop).UniquelyRealizable() {
+				return true // skip: solution would not be unique
+			}
+			wTrial := cloneWeights(w)
+			for _, e := range drop {
+				wTrial[e.Low][e.High] = 0
+				wTrial[e.High][e.Low] = 0
+			}
+			trial, serr := mds.Solve(d2d, wTrial, cfg.MDS)
+			if serr != nil {
+				return true
+			}
+			if e0-trial.NormStress > cfg.DropFraction*e0 && trial.NormStress < eMin {
+				eMin = trial.NormStress
+				pMin = trial.Positions
+				bestDrop = append([]graph.Edge(nil), drop...)
+			}
+			return true
+		})
+		if eMin < cfg.StressAccept {
+			return pMin, eMin, bestDrop, true, nil
+		}
+		if bestDrop != nil {
+			e0, p0, accumulatedDrop = eMin, pMin, bestDrop
+		}
+	}
+	return p0, e0, accumulatedDrop, true, nil
+}
+
+func cloneWeights(w [][]float64) [][]float64 {
+	out := make([][]float64, len(w))
+	for i := range w {
+		out[i] = append([]float64(nil), w[i]...)
+	}
+	return out
+}
+
+// AlignToLeader rigidly moves a 2D configuration so the leader (node 0)
+// sits at the origin and the pointed device (node 1) lies along the given
+// bearing — resolving translation and rotation (§2.1.4). Reflection is
+// left for ResolveFlip.
+func AlignToLeader(pos []geom.Vec2, bearing float64) []geom.Vec2 {
+	out := make([]geom.Vec2, len(pos))
+	if len(pos) == 0 {
+		return out
+	}
+	origin := pos[0]
+	for i, p := range pos {
+		out[i] = p.Sub(origin)
+	}
+	if len(out) < 2 {
+		return out
+	}
+	cur := out[1].Angle()
+	rot := bearing - cur
+	for i := range out {
+		out[i] = out[i].Rotate(rot)
+	}
+	return out
+}
+
+// ResolveFlip evaluates the paper's voting function on both mirror
+// candidates and returns the winner plus the winning margin:
+//
+//	V({P}) = Σ_{i≥2} sgn(mᵢ−nᵢ) · sgn((xᵢ−x₀)(y₁−y₀) − (yᵢ−y₀)(x₁−x₀))
+//
+// Our mic-sign convention: +1 means the leader's microphone on the right
+// of the pointing direction heard device i first, which happens when the
+// device lies on the right side, i.e. cross(P₁−P₀, Pᵢ−P₀) < 0 — matching
+// the sign expression above. Devices with sign 0 abstain. If the vote
+// ties (or no information), the unflipped candidate is returned.
+func ResolveFlip(pos []geom.Vec2, micSigns []int, bearing float64) ([]geom.Vec2, int) {
+	if len(pos) < 3 || micSigns == nil {
+		return pos, 0
+	}
+	mirrored := make([]geom.Vec2, len(pos))
+	for i, p := range pos {
+		mirrored[i] = geom.ReflectAcross(p, pos[0], pos[1])
+	}
+	v1 := flipVote(pos, micSigns)
+	v2 := flipVote(mirrored, micSigns)
+	if v2 > v1 {
+		return mirrored, v2
+	}
+	return pos, v1
+}
+
+func flipVote(pos []geom.Vec2, micSigns []int) int {
+	v := 0
+	p0, p1 := pos[0], pos[1]
+	for i := 2; i < len(pos); i++ {
+		ms := micSigns[i]
+		if ms == 0 {
+			continue
+		}
+		// (xᵢ−x₀)(y₁−y₀) − (yᵢ−y₀)(x₁−x₀) == cross(Pᵢ−P₀, P₁−P₀).
+		cross := pos[i].Sub(p0).Cross(p1.Sub(p0))
+		side := 0
+		switch {
+		case cross > 0:
+			side = 1
+		case cross < 0:
+			side = -1
+		}
+		v += ms * side
+	}
+	return v
+}

@@ -1,0 +1,405 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"uwpos/internal/geom"
+	"uwpos/internal/graph"
+)
+
+// scenario builds exact measurement inputs from ground-truth 3D positions,
+// with the leader at index 0 pointing at device 1.
+func scenario(truth []geom.Vec3) Input {
+	n := len(truth)
+	d := make([][]float64, n)
+	w := make([][]float64, n)
+	depths := make([]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		w[i] = make([]float64, n)
+		depths[i] = truth[i].Z
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				d[i][j] = truth[i].Dist(truth[j])
+				w[i][j] = 1
+			}
+		}
+	}
+	signs := make([]int, n)
+	bearing := truth[1].Sub(truth[0]).XY().Angle()
+	for i := 2; i < n; i++ {
+		signs[i] = trueMicSign(truth, i)
+	}
+	return Input{D: d, W: w, Depths: depths, MicSigns: signs, PointingBearing: bearing}
+}
+
+// trueMicSign computes the geometric ground truth for sign(m−n): +1 when
+// device i is right of the leader→device-1 line.
+func trueMicSign(truth []geom.Vec3, i int) int {
+	cross := truth[i].Sub(truth[0]).XY().Cross(truth[1].Sub(truth[0]).XY())
+	switch {
+	case cross > 0:
+		return 1
+	case cross < 0:
+		return -1
+	}
+	return 0
+}
+
+func maxPosErr(truth []geom.Vec3, got []geom.Vec3, leader geom.Vec3) float64 {
+	var worst float64
+	for i := range truth {
+		want := truth[i].Sub(leader)
+		if e := got[i].Sub(geom.Vec3{Z: -leader.Z}).Sub(want).Norm(); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+var dockTruth = []geom.Vec3{
+	{X: 0, Y: 0, Z: 2},    // leader
+	{X: 6, Y: 2, Z: 3},    // pointed device
+	{X: 14, Y: -5, Z: 1},  // right of the line
+	{X: 10, Y: 9, Z: 4},   // left of the line
+	{X: 20, Y: 3, Z: 2.5}, // near the line, right
+}
+
+func TestLocalizeExactRecovery(t *testing.T) {
+	in := scenario(dockTruth)
+	res, err := Localize(in, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NormStress > 1e-4 {
+		t.Errorf("norm stress %g on exact input", res.NormStress)
+	}
+	if res.Dropped != nil || res.OutlierSearch {
+		t.Error("no outlier machinery expected on clean input")
+	}
+	// Relative positions w.r.t. the leader must match ground truth.
+	for i := range dockTruth {
+		want := dockTruth[i].Sub(dockTruth[0])
+		got := res.Positions[i]
+		got.Z -= dockTruth[0].Z // depths are absolute; compare relative
+		want.Z = dockTruth[i].Z - dockTruth[0].Z
+		if e := got.Sub(want).Norm(); e > 1e-3 {
+			t.Errorf("device %d: got %+v want %+v (err %g)", i, got, want, e)
+		}
+	}
+}
+
+func TestLocalizeLeaderAtOrigin(t *testing.T) {
+	res, err := Localize(scenario(dockTruth), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Planar[0].Norm() > 1e-9 {
+		t.Errorf("leader planar position %+v, want origin", res.Planar[0])
+	}
+	// Device 1 must lie along the pointing bearing.
+	bearing := dockTruth[1].Sub(dockTruth[0]).XY().Angle()
+	if got := res.Planar[1].Angle(); math.Abs(angleDiff(got, bearing)) > 1e-6 {
+		t.Errorf("device 1 bearing %g, want %g", got, bearing)
+	}
+}
+
+func angleDiff(a, b float64) float64 {
+	d := math.Mod(a-b+3*math.Pi, 2*math.Pi) - math.Pi
+	return d
+}
+
+func TestLocalizeInputValidation(t *testing.T) {
+	in := scenario(dockTruth[:3])
+	if _, err := Localize(Input{D: in.D[:2], W: in.W[:2], Depths: in.Depths[:2]}, DefaultConfig()); err == nil {
+		t.Error("n=2 should error (ranging only)")
+	}
+	bad := scenario(dockTruth)
+	bad.Depths = bad.Depths[:2]
+	if _, err := Localize(bad, DefaultConfig()); err == nil {
+		t.Error("bad depth length should error")
+	}
+	noLink := scenario(dockTruth)
+	noLink.W[0][1], noLink.W[1][0] = 0, 0
+	if _, err := Localize(noLink, DefaultConfig()); err == nil {
+		t.Error("missing leader-pointed link should error")
+	}
+	badSigns := scenario(dockTruth)
+	badSigns.MicSigns = []int{0}
+	if _, err := Localize(badSigns, DefaultConfig()); err == nil {
+		t.Error("bad MicSigns length should error")
+	}
+}
+
+func TestProjectTo2D(t *testing.T) {
+	d := [][]float64{{0, 5}, {5, 0}}
+	w := [][]float64{{0, 1}, {1, 0}}
+	depths := []float64{0, 3}
+	p, err := ProjectTo2D(d, w, depths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[0][1]-4) > 1e-12 {
+		t.Errorf("projected distance %g, want 4", p[0][1])
+	}
+	// Near-vertical pair with noise: clamps to 0 instead of NaN.
+	d[0][1], d[1][0] = 2.9, 2.9
+	p, err = ProjectTo2D(d, w, depths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0][1] != 0 || math.IsNaN(p[0][1]) {
+		t.Errorf("clamped projection = %g", p[0][1])
+	}
+	// Length mismatch errors.
+	if _, err := ProjectTo2D(d, w, []float64{1}); err == nil {
+		t.Error("bad depths should error")
+	}
+}
+
+func TestLocalizeWithMissingLinks(t *testing.T) {
+	truth := []geom.Vec3{
+		{X: 0, Y: 0, Z: 2}, {X: 7, Y: 1, Z: 3}, {X: 15, Y: -6, Z: 1},
+		{X: 11, Y: 10, Z: 4}, {X: 22, Y: 2, Z: 2}, {X: 4, Y: -12, Z: 3},
+	}
+	in := scenario(truth)
+	// Drop two far links; graph remains uniquely realizable.
+	for _, e := range [][2]int{{2, 3}, {4, 5}} {
+		in.W[e[0]][e[1]], in.W[e[1]][e[0]] = 0, 0
+	}
+	res, err := Localize(in, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		want := truth[i].Sub(truth[0]).XY()
+		if e := res.Planar[i].Dist(want); e > 0.01 {
+			t.Errorf("device %d planar error %g with missing links", i, e)
+		}
+	}
+}
+
+func TestLocalizeDetectsOutlier(t *testing.T) {
+	truth := []geom.Vec3{
+		{X: 0, Y: 0, Z: 2}, {X: 7, Y: 1, Z: 3}, {X: 15, Y: -6, Z: 1},
+		{X: 11, Y: 10, Z: 4}, {X: 22, Y: 2, Z: 2}, {X: 4, Y: -12, Z: 3},
+	}
+	in := scenario(truth)
+	// Occluded link 0–2: severe multipath inflates the distance by 9 m.
+	in.D[0][2] += 9
+	in.D[2][0] = in.D[0][2]
+	res, err := Localize(in, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OutlierSearch {
+		t.Error("outlier search should have engaged")
+	}
+	if len(res.Dropped) != 1 || res.Dropped[0] != graph.NewEdge(0, 2) {
+		t.Errorf("dropped %v, want [0-2]", res.Dropped)
+	}
+	if res.NormStress > 0.1 {
+		t.Errorf("post-drop stress %g", res.NormStress)
+	}
+	for i := range truth {
+		want := truth[i].Sub(truth[0]).XY()
+		if e := res.Planar[i].Dist(want); e > 0.1 {
+			t.Errorf("device %d error %g after outlier removal", i, e)
+		}
+	}
+}
+
+func TestOutlierSearchRespectsRealizabilityGate(t *testing.T) {
+	// 4 devices fully connected (6 links): dropping ANY link leaves 5
+	// links = minimally rigid but NOT uniquely realizable, so Algorithm 1
+	// must refuse to drop and return the stressed solution.
+	truth := dockTruth[:4]
+	in := scenario(truth)
+	in.D[0][2] += 9
+	in.D[2][0] = in.D[0][2]
+	res, err := Localize(in, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dropped) != 0 {
+		t.Errorf("dropped %v despite realizability gate", res.Dropped)
+	}
+	if !res.OutlierSearch {
+		t.Error("search should have run (and found nothing droppable)")
+	}
+}
+
+func TestAlignToLeader(t *testing.T) {
+	pos := []geom.Vec2{{X: 3, Y: 4}, {X: 3, Y: 9}, {X: 8, Y: 4}}
+	out := AlignToLeader(pos, 0) // point along +x
+	if out[0].Norm() > 1e-12 {
+		t.Error("leader not at origin")
+	}
+	if math.Abs(out[1].Y) > 1e-9 || out[1].X < 0 {
+		t.Errorf("device 1 at %+v, want on +x axis", out[1])
+	}
+	// Distances preserved.
+	if math.Abs(out[1].Dist(out[2])-pos[1].Dist(pos[2])) > 1e-9 {
+		t.Error("alignment distorted distances")
+	}
+	if got := AlignToLeader(nil, 0); len(got) != 0 {
+		t.Error("nil input should give empty output")
+	}
+	single := AlignToLeader([]geom.Vec2{{X: 5, Y: 5}}, 1)
+	if single[0].Norm() > 1e-12 {
+		t.Error("single point should map to origin")
+	}
+}
+
+func TestResolveFlipCorrectsMirroredInput(t *testing.T) {
+	truth := dockTruth
+	n := len(truth)
+	planar := make([]geom.Vec2, n)
+	for i, p := range truth {
+		planar[i] = p.XY().Sub(truth[0].XY())
+	}
+	signs := make([]int, n)
+	for i := 2; i < n; i++ {
+		signs[i] = trueMicSign(truth, i)
+	}
+	// Mirror everything across the pointing line (the wrong candidate).
+	wrong := make([]geom.Vec2, n)
+	for i, p := range planar {
+		wrong[i] = geom.ReflectAcross(p, planar[0], planar[1])
+	}
+	fixed, vote := ResolveFlip(wrong, signs, 0)
+	if vote <= 0 {
+		t.Fatalf("vote %d, want positive", vote)
+	}
+	for i := range planar {
+		if e := fixed[i].Dist(planar[i]); e > 1e-9 {
+			t.Errorf("device %d not unflipped (err %g)", i, e)
+		}
+	}
+	// Already-correct input stays put.
+	same, vote2 := ResolveFlip(planar, signs, 0)
+	if vote2 <= 0 {
+		t.Errorf("correct candidate vote %d", vote2)
+	}
+	for i := range planar {
+		if same[i] != planar[i] {
+			t.Error("correct candidate was flipped")
+		}
+	}
+}
+
+func TestResolveFlipSingleVoterMajority(t *testing.T) {
+	// With one informative voter the decision follows that single sign —
+	// the paper's 1-device setting (90.1% accuracy in their deployment;
+	// errors come from multipath corrupting the sign, tested elsewhere).
+	planar := []geom.Vec2{{X: 0, Y: 0}, {X: 5, Y: 0}, {X: 3, Y: -4}, {X: 6, Y: 2}}
+	signs := []int{0, 0, 1, 0} // only device 2 votes: right side
+	got, vote := ResolveFlip(planar, signs, 0)
+	if vote != 1 {
+		t.Errorf("vote %d", vote)
+	}
+	if got[2].Y != -4 {
+		t.Error("candidate with device 2 on the right should win")
+	}
+	// Contradictory sign flips it.
+	signs[2] = -1
+	got, _ = ResolveFlip(planar, signs, 0)
+	if got[2].Y != 4 {
+		t.Error("candidate should flip when the sign says left")
+	}
+}
+
+func TestResolveFlipAbstentions(t *testing.T) {
+	planar := []geom.Vec2{{X: 0, Y: 0}, {X: 5, Y: 0}, {X: 3, Y: -4}}
+	got, vote := ResolveFlip(planar, []int{0, 0, 0}, 0)
+	if vote != 0 {
+		t.Errorf("all-abstain vote %d", vote)
+	}
+	for i := range planar {
+		if got[i] != planar[i] {
+			t.Error("abstention should keep the unflipped candidate")
+		}
+	}
+	// nil signs: passthrough.
+	got, vote = ResolveFlip(planar, nil, 0)
+	if vote != 0 || &got[0] == nil {
+		t.Error("nil signs should pass through")
+	}
+}
+
+func TestLocalizeNoisyProperty(t *testing.T) {
+	// With bounded distance noise, localization error stays bounded and
+	// flipping/rotation are always resolved correctly for well-spread
+	// geometries.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		truth := []geom.Vec3{
+			{X: 0, Y: 0, Z: 2 + rng.Float64()},
+			{X: 5 + rng.Float64()*4, Y: rng.Float64()*4 - 2, Z: 1 + rng.Float64()*3},
+			{X: rng.Float64()*30 - 5, Y: 5 + rng.Float64()*15, Z: 1 + rng.Float64()*4},
+			{X: rng.Float64()*30 - 5, Y: -5 - rng.Float64()*15, Z: 1 + rng.Float64()*4},
+			{X: 15 + rng.Float64()*10, Y: rng.Float64()*20 - 10, Z: 1 + rng.Float64()*4},
+			{X: -10 - rng.Float64()*8, Y: rng.Float64()*16 - 8, Z: 1 + rng.Float64()*4},
+		}
+		in := scenario(truth)
+		for i := range in.D {
+			for j := i + 1; j < len(in.D); j++ {
+				e := 0.4 * (2*rng.Float64() - 1)
+				in.D[i][j] += e
+				in.D[j][i] = in.D[i][j]
+			}
+		}
+		res, err := Localize(in, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		var worst float64
+		for i := range truth {
+			want := truth[i].Sub(truth[0]).XY()
+			if e := res.Planar[i].Dist(want); e > worst {
+				worst = e
+			}
+		}
+		return worst < 3.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLocalize6(b *testing.B) {
+	truth := []geom.Vec3{
+		{X: 0, Y: 0, Z: 2}, {X: 7, Y: 1, Z: 3}, {X: 15, Y: -6, Z: 1},
+		{X: 11, Y: 10, Z: 4}, {X: 22, Y: 2, Z: 2}, {X: 4, Y: -12, Z: 3},
+	}
+	in := scenario(truth)
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Localize(in, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocalizeWithOutlier6(b *testing.B) {
+	truth := []geom.Vec3{
+		{X: 0, Y: 0, Z: 2}, {X: 7, Y: 1, Z: 3}, {X: 15, Y: -6, Z: 1},
+		{X: 11, Y: 10, Z: 4}, {X: 22, Y: 2, Z: 2}, {X: 4, Y: -12, Z: 3},
+	}
+	in := scenario(truth)
+	in.D[0][2] += 9
+	in.D[2][0] = in.D[0][2]
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Localize(in, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

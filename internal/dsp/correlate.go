@@ -1,0 +1,191 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// CrossCorrelate computes the full linear cross-correlation
+//
+//	r[k] = sum_n x[n+k] * h[n],   k in [0, len(x)-len(h)]
+//
+// i.e. the sliding inner product of the template h against x ("valid"
+// correlation lags only). It picks the FFT path when it pays off.
+// The result has length len(x)-len(h)+1; it returns nil when len(h) > len(x)
+// or either input is empty.
+func CrossCorrelate(x, h []float64) []float64 {
+	if len(h) == 0 || len(x) == 0 || len(h) > len(x) {
+		return nil
+	}
+	// Cost heuristic: direct is O(len(x)*len(h)); FFT is ~3 transforms of
+	// the padded length. Small templates are faster directly.
+	if len(h) < 64 {
+		return xcorrDirect(x, h)
+	}
+	return xcorrFFT(x, h)
+}
+
+func xcorrDirect(x, h []float64) []float64 {
+	n := len(x) - len(h) + 1
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		var s float64
+		for n2, hv := range h {
+			s += x[k+n2] * hv
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func xcorrFFT(x, h []float64) []float64 {
+	m := NextPow2(len(x) + len(h) - 1)
+	fx := make([]complex128, m)
+	fh := make([]complex128, m)
+	for i, v := range x {
+		fx[i] = complex(v, 0)
+	}
+	for i, v := range h {
+		fh[i] = complex(v, 0)
+	}
+	fftPow2(fx, false)
+	fftPow2(fh, false)
+	for i := range fx {
+		fx[i] *= cmplx.Conj(fh[i])
+	}
+	fftPow2(fx, true)
+	inv := 1 / float64(m)
+	out := make([]float64, len(x)-len(h)+1)
+	for k := range out {
+		out[k] = real(fx[k]) * inv
+	}
+	return out
+}
+
+// NormalizedCrossCorrelate computes cross-correlation normalized by the
+// template energy and the local window energy of x, so the output lies in
+// [-1, 1] regardless of incoming signal scale. Windows of (near-)zero energy
+// yield 0. Length is len(x)-len(h)+1.
+func NormalizedCrossCorrelate(x, h []float64) []float64 {
+	r := CrossCorrelate(x, h)
+	if r == nil {
+		return nil
+	}
+	var eh float64
+	for _, v := range h {
+		eh += v * v
+	}
+	if eh == 0 {
+		for i := range r {
+			r[i] = 0
+		}
+		return r
+	}
+	// Sliding window energy of x via prefix sums.
+	prefix := make([]float64, len(x)+1)
+	for i, v := range x {
+		prefix[i+1] = prefix[i] + v*v
+	}
+	const eps = 1e-30
+	for k := range r {
+		ex := prefix[k+len(h)] - prefix[k]
+		den := math.Sqrt(ex * eh)
+		if den < eps {
+			r[k] = 0
+		} else {
+			r[k] /= den
+		}
+	}
+	return r
+}
+
+// SegmentCorrelation returns the normalized correlation coefficient between
+// two equal-length segments (Pearson-style without mean removal, matching
+// matched-filter practice). Returns 0 when either segment has no energy.
+func SegmentCorrelation(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	var sab, saa, sbb float64
+	for i := range a {
+		sab += a[i] * b[i]
+		saa += a[i] * a[i]
+		sbb += b[i] * b[i]
+	}
+	if saa == 0 || sbb == 0 {
+		return 0
+	}
+	return sab / math.Sqrt(saa*sbb)
+}
+
+// AutoCorrelate computes the biased sample autocorrelation of x for lags
+// [0, maxLag]. Lag 0 is the signal energy / N.
+func AutoCorrelate(x []float64, maxLag int) []float64 {
+	if maxLag >= len(x) {
+		maxLag = len(x) - 1
+	}
+	if maxLag < 0 {
+		return nil
+	}
+	out := make([]float64, maxLag+1)
+	n := float64(len(x))
+	for lag := 0; lag <= maxLag; lag++ {
+		var s float64
+		for i := 0; i+lag < len(x); i++ {
+			s += x[i] * x[i+lag]
+		}
+		out[lag] = s / n
+	}
+	return out
+}
+
+// ComplexConvolve computes the circular convolution of two equal-length
+// complex vectors using the FFT. Both inputs are left unmodified.
+func ComplexConvolve(a, b []complex128) []complex128 {
+	if len(a) != len(b) {
+		panic("dsp: ComplexConvolve length mismatch")
+	}
+	n := len(a)
+	if n == 0 {
+		return nil
+	}
+	p := NewPlan(n)
+	fa := append([]complex128(nil), a...)
+	fb := append([]complex128(nil), b...)
+	p.Forward(fa)
+	p.Forward(fb)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	p.Inverse(fa)
+	return fa
+}
+
+// Convolve computes the full linear convolution of x and k
+// (length len(x)+len(k)-1) via the FFT.
+func Convolve(x, k []float64) []float64 {
+	if len(x) == 0 || len(k) == 0 {
+		return nil
+	}
+	m := NextPow2(len(x) + len(k) - 1)
+	fx := make([]complex128, m)
+	fk := make([]complex128, m)
+	for i, v := range x {
+		fx[i] = complex(v, 0)
+	}
+	for i, v := range k {
+		fk[i] = complex(v, 0)
+	}
+	fftPow2(fx, false)
+	fftPow2(fk, false)
+	for i := range fx {
+		fx[i] *= fk[i]
+	}
+	fftPow2(fx, true)
+	inv := 1 / float64(m)
+	out := make([]float64, len(x)+len(k)-1)
+	for i := range out {
+		out[i] = real(fx[i]) * inv
+	}
+	return out
+}

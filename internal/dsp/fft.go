@@ -1,0 +1,203 @@
+// Package dsp implements the signal-processing primitives the positioning
+// system is built on: FFTs of arbitrary length, correlation, filtering,
+// windowing, resampling and peak analysis.
+//
+// Everything is written against float64/complex128 slices so the receiver
+// pipeline can run allocation-free on hot paths: the FFT planner hands out
+// reusable scratch, and correlation functions accept destination buffers.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the in-place decimation-in-time radix-2 FFT of x.
+// len(x) must be a power of two; it panics otherwise (programmer error,
+// callers that need arbitrary sizes use Plan or BluesteinFFT).
+func FFT(x []complex128) {
+	if !IsPow2(len(x)) {
+		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", len(x)))
+	}
+	fftPow2(x, false)
+}
+
+// IFFT computes the in-place inverse FFT of x, including the 1/N scale.
+// len(x) must be a power of two.
+func IFFT(x []complex128) {
+	if !IsPow2(len(x)) {
+		panic(fmt.Sprintf("dsp: IFFT length %d is not a power of two", len(x)))
+	}
+	fftPow2(x, true)
+	scale := complex(1/float64(len(x)), 0)
+	for i := range x {
+		x[i] *= scale
+	}
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPow2 returns the smallest power of two >= n. It panics for n <= 0
+// and for n large enough to overflow an int.
+func NextPow2(n int) int {
+	if n <= 0 {
+		panic("dsp: NextPow2 of non-positive length")
+	}
+	if IsPow2(n) {
+		return n
+	}
+	return 1 << bits.Len(uint(n))
+}
+
+// fftPow2 is the shared radix-2 kernel. inverse selects conjugated twiddles.
+func fftPow2(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		ang := 2 * math.Pi / float64(size)
+		if !inverse {
+			ang = -ang
+		}
+		wStep := cmplx.Rect(1, ang)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// Plan caches the Bluestein chirp and scratch buffers for repeated
+// transforms of one fixed, arbitrary length. A Plan is not safe for
+// concurrent use; receivers keep one per goroutine.
+type Plan struct {
+	n     int          // transform length
+	m     int          // power-of-two convolution length (>= 2n-1)
+	chirp []complex128 // b[k] = exp(+i*pi*k^2/n), k in [0,n)
+	fb    []complex128 // FFT of zero-padded, wrapped conjugate chirp
+	a     []complex128 // scratch of length m
+}
+
+// NewPlan builds a transform plan for length n (n >= 1).
+func NewPlan(n int) *Plan {
+	if n <= 0 {
+		panic("dsp: NewPlan length must be positive")
+	}
+	p := &Plan{n: n}
+	if IsPow2(n) {
+		return p
+	}
+	p.m = NextPow2(2*n - 1)
+	p.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// Use k^2 mod 2n to keep the angle argument small and exact.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		p.chirp[k] = cmplx.Rect(1, math.Pi*float64(kk)/float64(n))
+	}
+	p.fb = make([]complex128, p.m)
+	for k := 0; k < n; k++ {
+		c := p.chirp[k] // b[k]
+		p.fb[k] = c
+		if k > 0 {
+			p.fb[p.m-k] = c
+		}
+	}
+	fftPow2(p.fb, false)
+	p.a = make([]complex128, p.m)
+	return p
+}
+
+// N returns the planned transform length.
+func (p *Plan) N() int { return p.n }
+
+// Forward computes the DFT of x in place. len(x) must equal the plan length.
+func (p *Plan) Forward(x []complex128) { p.transform(x, false) }
+
+// Inverse computes the inverse DFT of x in place (with 1/N scaling).
+func (p *Plan) Inverse(x []complex128) { p.transform(x, true) }
+
+func (p *Plan) transform(x []complex128, inverse bool) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("dsp: plan length %d, input length %d", p.n, len(x)))
+	}
+	if p.m == 0 { // power-of-two fast path
+		fftPow2(x, inverse)
+		if inverse {
+			s := complex(1/float64(p.n), 0)
+			for i := range x {
+				x[i] *= s
+			}
+		}
+		return
+	}
+	n, m := p.n, p.m
+	// Bluestein: X[k] = b*[k] * ( (x*b~) ⊛ b )[k] with b~[k] = conj(b[k]).
+	// For the inverse transform run the forward machinery on conjugated
+	// input and conjugate the result (DFT(conj(x))* = IDFT(x)*N).
+	for i := 0; i < n; i++ {
+		v := x[i]
+		if inverse {
+			v = cmplx.Conj(v)
+		}
+		p.a[i] = v * cmplx.Conj(p.chirp[i])
+	}
+	for i := n; i < m; i++ {
+		p.a[i] = 0
+	}
+	fftPow2(p.a, false)
+	for i := 0; i < m; i++ {
+		p.a[i] *= p.fb[i]
+	}
+	fftPow2(p.a, true)
+	invM := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		v := p.a[k] * invM * cmplx.Conj(p.chirp[k])
+		if inverse {
+			v = cmplx.Conj(v) * complex(1/float64(n), 0)
+		}
+		x[k] = v
+	}
+}
+
+// FFTReal transforms a real signal, returning a freshly allocated complex
+// spectrum of the same length (convenience wrapper; hot paths use Plan).
+func FFTReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	NewPlan(len(x)).Forward(c)
+	return c
+}
+
+// IFFTReal inverts a spectrum and returns the real part of the result.
+func IFFTReal(spec []complex128) []float64 {
+	c := make([]complex128, len(spec))
+	copy(c, spec)
+	NewPlan(len(c)).Inverse(c)
+	out := make([]float64, len(c))
+	for i, v := range c {
+		out[i] = real(v)
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"uwpos/internal/channel"
+	"uwpos/internal/core"
+	"uwpos/internal/dsp"
+	"uwpos/internal/geom"
+	"uwpos/internal/mds"
+	"uwpos/internal/ranging"
+	"uwpos/internal/sig"
+	"uwpos/internal/sim"
+	"uwpos/internal/stats"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out. They are
+// not paper figures; they justify implementation decisions with data.
+
+// AblationBandWindow compares the channel-estimator band taper: Hann
+// (default, −31 dB sidelobes, wider main lobe) against rectangular
+// (−13 dB sidelobes that the λ=0.2 direct-path test can mistake for early
+// arrivals).
+func AblationBandWindow(opt Options) (map[string][]float64, *stats.Table) {
+	rng := opt.rng()
+	trials := opt.samples(40)
+	p := sig.DefaultParams()
+	env := channel.Dock()
+	const fs = 44100.0
+	out := map[string][]float64{"hann": nil, "rectangular": nil}
+
+	for t := 0; t < trials; t++ {
+		// One shared channel realization per trial.
+		sep := 15 + 10*rng.Float64()
+		tx := geom.Vec3{X: 0, Y: 0, Z: 2.5}
+		rx := geom.Vec3{X: sep, Y: 0, Z: 2.5}
+		taps := env.WithScatter(env.ImpulseResponse(tx, rx, channel.ImpulseOptions{}), rng)
+		stream := make([]float64, 40000)
+		env.AddNoise(stream, fs, rng)
+		const at = 9000
+		channel.Render(stream, p.Preamble(), taps, at, fs)
+		det := ranging.NewDetector(p, ranging.DetectorConfig{})
+		dets := det.Detect(stream)
+		if len(dets) != 1 {
+			continue
+		}
+		c := env.SoundSpeed(2.5)
+		wantArrival := float64(at) + sep/c*fs
+		for _, win := range []struct {
+			name string
+			w    dsp.Window
+		}{{"hann", dsp.Hann}, {"rectangular", dsp.Rectangular}} {
+			ce := ranging.NewChannelEstimator(p)
+			ce.SetBandWindow(win.w)
+			h, err := ce.Estimate(stream, dets[0].CoarseIndex)
+			if err != nil {
+				continue
+			}
+			res := ranging.SingleMicDirectPath(h, ranging.DirectPathConfig{})
+			if !res.OK {
+				continue
+			}
+			arr := float64(dets[0].CoarseIndex) - float64(ce.GuardTaps) + res.TauTaps
+			out[win.name] = append(out[win.name], math.Abs(arr-wantArrival)/fs*c)
+		}
+	}
+	table := &stats.Table{
+		ID:     "ablation-bandwindow",
+		Title:  "channel-estimate band taper: Hann vs rectangular",
+		Paper:  "(design choice, DESIGN.md §3.2 — not a paper figure)",
+		Header: []string{"window", "median err (m)", "95th (m)", "n"},
+	}
+	for _, k := range []string{"hann", "rectangular"} {
+		es := out[k]
+		table.Rows = append(table.Rows, []string{
+			k, stats.F(stats.Median(es)), stats.F(stats.Percentile(es, 95)), stats.F(float64(len(es))),
+		})
+	}
+	return out, table
+}
+
+// AblationPrefilter measures the in-band prefilter's effect on detection
+// at marginal SNR.
+func AblationPrefilter(opt Options) (map[string]float64, *stats.Table) {
+	rng := opt.rng()
+	trials := opt.samples(60)
+	p := sig.DefaultParams()
+	pre := p.Preamble()
+	detOn := ranging.NewDetector(p, ranging.DetectorConfig{})
+	detOff := ranging.NewDetector(p, ranging.DetectorConfig{DisablePrefilter: true})
+	rates := map[string]float64{}
+	for _, variant := range []struct {
+		name string
+		det  *ranging.Detector
+	}{{"with prefilter", detOn}, {"without prefilter", detOff}} {
+		hits := 0
+		for t := 0; t < trials; t++ {
+			stream := make([]float64, 40000)
+			for i := range stream {
+				stream[i] = 0.14 * rng.NormFloat64() // ≈−6 dB wideband
+			}
+			for i, v := range pre {
+				stream[12000+i] += 0.25 * v
+			}
+			if len(variant.det.Detect(stream)) > 0 {
+				hits++
+			}
+		}
+		rates[variant.name] = float64(hits) / float64(trials)
+	}
+	table := &stats.Table{
+		ID:     "ablation-prefilter",
+		Title:  "detection rate at −6 dB wideband SNR: prefilter on vs off",
+		Paper:  "(design choice — the validation stage needs in-band SNR)",
+		Header: []string{"variant", "detection rate"},
+		Rows: [][]string{
+			{"with prefilter", stats.F(rates["with prefilter"])},
+			{"without prefilter", stats.F(rates["without prefilter"])},
+		},
+	}
+	return rates, table
+}
+
+// AblationRestarts measures SMACOF restart value on outlier-bearing
+// problems (escaping deceptive local minima).
+func AblationRestarts(opt Options) (map[string][]float64, *stats.Table) {
+	rng := opt.rng()
+	trials := opt.samples(80)
+	out := map[string][]float64{"restarts=0": nil, "restarts=2": nil}
+	for t := 0; t < trials; t++ {
+		// Random 6-node geometry with one corrupted link.
+		pts := make([]geom.Vec2, 6)
+		for i := range pts {
+			pts[i] = geom.Vec2{X: rng.Float64() * 30, Y: rng.Float64() * 30}
+		}
+		n := len(pts)
+		d := make([][]float64, n)
+		w := make([][]float64, n)
+		for i := range d {
+			d[i] = make([]float64, n)
+			w[i] = make([]float64, n)
+			for j := range d[i] {
+				if i != j {
+					d[i][j] = pts[i].Dist(pts[j])
+					w[i][j] = 1
+				}
+			}
+		}
+		a, b := rng.Intn(n), rng.Intn(n)
+		for a == b {
+			b = rng.Intn(n)
+		}
+		d[a][b] += 6 + 6*rng.Float64()
+		d[b][a] = d[a][b]
+		for _, variant := range []struct {
+			name     string
+			restarts int
+		}{{"restarts=0", -1}, {"restarts=2", 2}} {
+			res, err := mds.Solve(d, w, mds.Options{
+				Restarts: variant.restarts,
+				Rng:      rand.New(rand.NewSource(int64(t))),
+			})
+			if err != nil {
+				continue
+			}
+			out[variant.name] = append(out[variant.name], res.NormStress)
+		}
+	}
+	table := &stats.Table{
+		ID:     "ablation-restarts",
+		Title:  "SMACOF restarts on outlier-bearing problems (normalized stress found)",
+		Paper:  "(design choice — higher stress found = better outlier detectability)",
+		Header: []string{"variant", "median stress (m)", "5th pct (m)"},
+	}
+	for _, k := range []string{"restarts=0", "restarts=2"} {
+		es := out[k]
+		table.Rows = append(table.Rows, []string{
+			k, stats.F(stats.Median(es)), stats.F(stats.Percentile(es, 5)),
+		})
+	}
+	return out, table
+}
+
+// AblationReportBack compares full §2.4 comm (quantization + FSK + coding
+// + CRC) against lossless timestamp delivery, isolating what the
+// communication system costs in 2D accuracy.
+func AblationReportBack(opt Options) (map[string][]float64, *stats.Table) {
+	rounds := opt.samples(8)
+	env := channel.Dock()
+	out := map[string][]float64{"full comm": nil, "lossless": nil}
+	for _, variant := range []struct {
+		name     string
+		lossless bool
+	}{{"full comm", false}, {"lossless", true}} {
+		mk := func(seed int64) sim.Config {
+			cfg := testbed(env, seed)
+			cfg.DisableReportBack = variant.lossless
+			return cfg
+		}
+		rds := collectRounds(mk, rounds, opt.Seed)
+		for _, rd := range rds {
+			if errs, _, ok := localizeErrors(rd, core.DefaultConfig()); ok {
+				out[variant.name] = append(out[variant.name], errs...)
+			}
+		}
+	}
+	table := &stats.Table{
+		ID:     "ablation-reportback",
+		Title:  "2D error: full report-back comm vs lossless timestamps",
+		Paper:  "(design cost of §2.4: 2-sample quantization + FSK + coding)",
+		Header: []string{"variant", "median (m)", "95th (m)", "n"},
+	}
+	for _, k := range []string{"full comm", "lossless"} {
+		es := out[k]
+		table.Rows = append(table.Rows, []string{
+			k, stats.F(stats.Median(es)), stats.F(stats.Percentile(es, 95)), stats.F(float64(len(es))),
+		})
+	}
+	return out, table
+}

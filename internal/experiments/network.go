@@ -1,0 +1,487 @@
+package experiments
+
+import (
+	"math"
+
+	"uwpos/internal/channel"
+	"uwpos/internal/core"
+	"uwpos/internal/device"
+	"uwpos/internal/geom"
+	"uwpos/internal/graph"
+	"uwpos/internal/protocol"
+	"uwpos/internal/sim"
+	"uwpos/internal/stats"
+)
+
+// testbed builds the Fig. 17-style five-device deployment for an
+// environment, with link distances to the leader spanning 3–25 m.
+func testbed(env *channel.Environment, seed int64) sim.Config {
+	s9 := device.GalaxyS9
+	depthCap := env.BottomDepthM - 0.5
+	d := func(z float64) float64 { return math.Min(z, depthCap) }
+	specs := []sim.DeviceSpec{
+		{Model: s9(), Pos: geom.Vec3{X: 0, Y: 0, Z: d(2.0)}},
+		{Model: s9(), Pos: geom.Vec3{X: 6, Y: 1.5, Z: d(2.5)}},
+		{Model: s9(), Pos: geom.Vec3{X: 13, Y: -5, Z: d(1.5)}},
+		{Model: s9(), Pos: geom.Vec3{X: 10, Y: 8, Z: d(3.5)}},
+		{Model: s9(), Pos: geom.Vec3{X: 20, Y: 2, Z: d(2.5)}},
+	}
+	o, _ := sim.LeaderOrientation(specs[0].Pos, specs[1].Pos, 0)
+	specs[0].Orient = o
+	return sim.Config{Env: env, Devices: specs, Seed: seed}
+}
+
+// roundData is one full-stack protocol round kept for post-processing.
+type roundData struct {
+	nw      *sim.Network
+	round   *sim.RoundResult
+	bearing float64
+	cfg     sim.Config
+}
+
+// collectRounds runs full acoustic rounds on the given scenario factory.
+func collectRounds(mk func(seed int64) sim.Config, rounds int, seed int64) []roundData {
+	var out []roundData
+	for k := 0; k < rounds; k++ {
+		cfg := mk(seed + int64(k)*104729)
+		nw, err := sim.NewNetwork(cfg)
+		if err != nil {
+			continue
+		}
+		round, err := nw.RunRound()
+		if err != nil {
+			continue
+		}
+		_, bearing := sim.LeaderOrientation(cfg.Devices[0].Pos, cfg.Devices[1].Pos, 0)
+		out = append(out, roundData{nw: nw, round: round, bearing: bearing, cfg: cfg})
+	}
+	return out
+}
+
+// localizeErrors scores one round, returning per-device 2D errors
+// (excluding the leader) alongside their true link distances to the
+// leader.
+func localizeErrors(rd roundData, cfg core.Config) (errs, linkDist []float64, ok bool) {
+	loc, err := rd.nw.LocalizeRound(rd.round, rd.bearing, cfg)
+	if err != nil {
+		return nil, nil, false
+	}
+	for i := 1; i < len(loc.Err2D); i++ {
+		errs = append(errs, loc.Err2D[i])
+		linkDist = append(linkDist, rd.round.TrueD[0][i])
+	}
+	return errs, linkDist, true
+}
+
+// Fig18 runs the network testbeds at the dock and boathouse and reports
+// the 2D localization CDF broken down by link distance to the leader.
+func Fig18(opt Options) (map[string][]float64, *stats.Table) {
+	rounds := opt.samples(12)
+	out := make(map[string][]float64)
+	table := &stats.Table{
+		ID:     "fig18",
+		Title:  "2D localization error by link distance (5-device testbeds)",
+		Paper:  "dock median 0.9 m (95th 3.2 m); boathouse median 1.6 m (95th 4.9 m); error grows with distance",
+		Header: []string{"site", "bucket", "median (m)", "95th (m)", "n"},
+	}
+	for _, site := range []string{"dock", "boathouse"} {
+		env, _ := channel.ByName(site)
+		rds := collectRounds(func(seed int64) sim.Config { return testbed(env, seed) }, rounds, opt.Seed)
+		buckets := map[string][]float64{"0-10m": nil, "10-15m": nil, "15-25m": nil, "all": nil}
+		for _, rd := range rds {
+			errs, dist, ok := localizeErrors(rd, core.DefaultConfig())
+			if !ok {
+				continue
+			}
+			for k, e := range errs {
+				buckets["all"] = append(buckets["all"], e)
+				switch {
+				case dist[k] <= 10:
+					buckets["0-10m"] = append(buckets["0-10m"], e)
+				case dist[k] <= 15:
+					buckets["10-15m"] = append(buckets["10-15m"], e)
+				default:
+					buckets["15-25m"] = append(buckets["15-25m"], e)
+				}
+			}
+		}
+		for _, b := range []string{"all", "0-10m", "10-15m", "15-25m"} {
+			es := buckets[b]
+			out[site+"/"+b] = es
+			table.Rows = append(table.Rows, []string{
+				site, b, stats.F(stats.Median(es)), stats.F(stats.Percentile(es, 95)),
+				stats.F(float64(len(es))),
+			})
+		}
+	}
+	return out, table
+}
+
+// Fig19a evaluates occluded-link outlier handling: the leader↔user-1 link
+// is blocked by a solid sheet (severe multipath → distance outlier); with
+// and without Algorithm 1.
+func Fig19a(opt Options) (map[string][]float64, *stats.Table) {
+	rounds := opt.samples(12)
+	env := channel.Dock()
+	mk := func(seed int64) sim.Config {
+		cfg := testbed(env, seed)
+		// Same depth, fully occluded direct path (paper setup).
+		cfg.Devices[0].Pos.Z = 1.5
+		cfg.Devices[1].Pos.Z = 1.5
+		cfg.Faults = []sim.LinkFault{{A: 0, B: 1, DirectAtt: 0.02}}
+		return cfg
+	}
+	rds := collectRounds(mk, rounds, opt.Seed)
+	out := map[string][]float64{"with": nil, "without": nil}
+	noOutlier := core.DefaultConfig()
+	noOutlier.MaxOutliers = 0
+	noOutlier.StressAccept = math.Inf(1) // never search
+	for _, rd := range rds {
+		if errs, _, ok := localizeErrors(rd, core.DefaultConfig()); ok {
+			out["with"] = append(out["with"], errs...)
+		}
+		if errs, _, ok := localizeErrors(rd, noOutlier); ok {
+			out["without"] = append(out["without"], errs...)
+		}
+	}
+	table := &stats.Table{
+		ID:     "fig19a",
+		Title:  "occluded leader↔user-1 link: with vs without outlier detection",
+		Paper:  "with detection median 1.4 m / 95th 3.4 m; without, the 90–100th percentile tail explodes",
+		Header: []string{"variant", "median (m)", "95th (m)", "99th (m)"},
+	}
+	for _, k := range []string{"with", "without"} {
+		es := out[k]
+		table.Rows = append(table.Rows, []string{
+			k + " outlier detection", stats.F(stats.Median(es)),
+			stats.F(stats.Percentile(es, 95)), stats.F(stats.Percentile(es, 99)),
+		})
+	}
+	return out, table
+}
+
+// Fig19b post-processes clean dock rounds: full network vs one random
+// link removed vs one random node removed (the paper's methodology —
+// "use the data collected from the dock location").
+func Fig19b(opt Options) (map[string][]float64, *stats.Table) {
+	rounds := opt.samples(12)
+	env := channel.Dock()
+	rng := opt.rng()
+	rds := collectRounds(func(seed int64) sim.Config { return testbed(env, seed) }, rounds, opt.Seed)
+	out := map[string][]float64{"full": nil, "link-drop": nil, "node-drop": nil}
+	for _, rd := range rds {
+		if errs, _, ok := localizeErrors(rd, core.DefaultConfig()); ok {
+			out["full"] = append(out["full"], errs...)
+		}
+		// Random link removed (never the leader↔user-1 link, which the
+		// pipeline requires), provided the remainder stays realizable.
+		n := len(rd.round.D)
+		w2 := cloneMatrix(rd.round.W)
+		for attempt := 0; attempt < 50; attempt++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b || (a == 0 && b == 1) || (a == 1 && b == 0) || w2[a][b] == 0 {
+				continue
+			}
+			w2[a][b], w2[b][a] = 0, 0
+			if graph.FromWeights(w2).UniquelyRealizable() {
+				break
+			}
+			w2[a][b], w2[b][a] = 1, 1
+		}
+		if errs, ok := relocalize(rd, rd.round.D, w2); ok {
+			out["link-drop"] = append(out["link-drop"], errs...)
+		}
+		// Random node removed (not leader, not user 1).
+		drop := 2 + rng.Intn(n-2)
+		if errs, ok := relocalizeWithoutNode(rd, drop); ok {
+			out["node-drop"] = append(out["node-drop"], errs...)
+		}
+	}
+	table := &stats.Table{
+		ID:     "fig19b",
+		Title:  "full network vs random link drop vs random node drop (dock)",
+		Paper:  "medians similar (1.0 vs 0.9 m); link drop inflates the 95th (6.2 vs 3.2 m); node drop does not hurt",
+		Header: []string{"variant", "median (m)", "95th (m)"},
+	}
+	for _, k := range []string{"full", "link-drop", "node-drop"} {
+		es := out[k]
+		table.Rows = append(table.Rows, []string{k, stats.F(stats.Median(es)), stats.F(stats.Percentile(es, 95))})
+	}
+	return out, table
+}
+
+func cloneMatrix(m [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	for i := range m {
+		out[i] = append([]float64(nil), m[i]...)
+	}
+	return out
+}
+
+// relocalize reruns the pipeline on modified distance/weight matrices.
+func relocalize(rd roundData, d, w [][]float64) ([]float64, bool) {
+	in := core.Input{
+		D: d, W: w, Depths: rd.round.Depths, MicSigns: rd.round.MicSigns,
+		PointingBearing: rd.bearing,
+	}
+	res, err := core.Localize(in, core.DefaultConfig())
+	if err != nil {
+		return nil, false
+	}
+	truth := rd.nw.TruePositions(0.70)
+	var errs []float64
+	for i := 1; i < len(res.Planar); i++ {
+		want := truth[i].Sub(truth[0]).XY()
+		errs = append(errs, res.Planar[i].Dist(want))
+	}
+	return errs, true
+}
+
+// relocalizeWithoutNode removes one node (≥2) and relocalizes the rest.
+func relocalizeWithoutNode(rd roundData, drop int) ([]float64, bool) {
+	n := len(rd.round.D)
+	keep := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != drop {
+			keep = append(keep, i)
+		}
+	}
+	m := len(keep)
+	d := make([][]float64, m)
+	w := make([][]float64, m)
+	depths := make([]float64, m)
+	signs := make([]int, m)
+	for a, ia := range keep {
+		d[a] = make([]float64, m)
+		w[a] = make([]float64, m)
+		depths[a] = rd.round.Depths[ia]
+		signs[a] = rd.round.MicSigns[ia]
+		for b, ib := range keep {
+			d[a][b] = rd.round.D[ia][ib]
+			w[a][b] = rd.round.W[ia][ib]
+		}
+	}
+	res, err := core.Localize(core.Input{
+		D: d, W: w, Depths: depths, MicSigns: signs, PointingBearing: rd.bearing,
+	}, core.DefaultConfig())
+	if err != nil {
+		return nil, false
+	}
+	truth := rd.nw.TruePositions(0.70)
+	var errs []float64
+	for a := 1; a < m; a++ {
+		ia := keep[a]
+		want := truth[ia].Sub(truth[0]).XY()
+		errs = append(errs, res.Planar[a].Dist(want))
+	}
+	return errs, true
+}
+
+// FourDevices compares 4- vs 5-device networks by removing one non-leader,
+// non-pointed node from dock rounds (§3.2 "4-device networks").
+func FourDevices(opt Options) (map[string][]float64, *stats.Table) {
+	rounds := opt.samples(10)
+	env := channel.Dock()
+	rng := opt.rng()
+	rds := collectRounds(func(seed int64) sim.Config { return testbed(env, seed) }, rounds, opt.Seed)
+	out := map[string][]float64{"5-device": nil, "4-device": nil}
+	for _, rd := range rds {
+		if errs, _, ok := localizeErrors(rd, core.DefaultConfig()); ok {
+			out["5-device"] = append(out["5-device"], errs...)
+		}
+		drop := 2 + rng.Intn(len(rd.round.D)-2)
+		if errs, ok := relocalizeWithoutNode(rd, drop); ok {
+			out["4-device"] = append(out["4-device"], errs...)
+		}
+	}
+	table := &stats.Table{
+		ID:     "fig19b-4dev",
+		Title:  "5-device vs 4-device networks (dock)",
+		Paper:  "similar CDFs: medians 0.9 vs 0.8 m, both 95th ≈3.2 m",
+		Header: []string{"network", "median (m)", "95th (m)"},
+	}
+	for _, k := range []string{"5-device", "4-device"} {
+		es := out[k]
+		table.Rows = append(table.Rows, []string{k, stats.F(stats.Median(es)), stats.F(stats.Percentile(es, 95))})
+	}
+	return out, table
+}
+
+// Fig20 measures 2D localization while one device oscillates (user 1 or
+// user 2 at 15–50 cm/s), reporting each user's error in both settings.
+func Fig20(opt Options) (map[string][]float64, *stats.Table) {
+	rounds := opt.samples(8)
+	env := channel.Dock()
+	out := make(map[string][]float64)
+	table := &stats.Table{
+		ID:     "fig20",
+		Title:  "2D localization with one moving device (dock)",
+		Paper:  "moving user 1: 0.2→0.3 m; moving user 2: 0.4→0.8 m — modest degradation",
+		Header: []string{"moving", "user", "median (m)", "95th (m)"},
+	}
+	for _, mover := range []int{1, 2} {
+		mk := func(seed int64) sim.Config {
+			cfg := testbed(env, seed)
+			speed := 0.15 + 0.35*float64(seed%7919)/7919 // 15–50 cm/s
+			start := cfg.Devices[mover].Pos
+			cfg.Devices[mover].Traj = sim.Oscillate(start, geom.Vec3{X: 1, Y: 0.4}, 1.5, speed)
+			return cfg
+		}
+		rds := collectRounds(mk, rounds, opt.Seed+int64(mover)*811)
+		for _, rd := range rds {
+			loc, err := rd.nw.LocalizeRound(rd.round, rd.bearing, core.DefaultConfig())
+			if err != nil {
+				continue
+			}
+			for _, user := range []int{1, 2} {
+				key := keyFor(mover, user)
+				out[key] = append(out[key], loc.Err2D[user])
+			}
+		}
+		for _, user := range []int{1, 2} {
+			es := out[keyFor(mover, user)]
+			table.Rows = append(table.Rows, []string{
+				"user " + stats.F(float64(mover)), "user " + stats.F(float64(user)),
+				stats.F(stats.Median(es)), stats.F(stats.Percentile(es, 95)),
+			})
+		}
+	}
+	return out, table
+}
+
+func keyFor(mover, user int) string {
+	return "mover" + string(rune('0'+mover)) + "/user" + string(rune('0'+user))
+}
+
+// RTT reports the protocol round time per group size: the analytic §2.3
+// schedule plus measured full-stack rounds.
+func RTT(opt Options) (map[int]float64, *stats.Table) {
+	measuredRounds := opt.samples(3)
+	out := make(map[int]float64)
+	table := &stats.Table{
+		ID:     "rtt",
+		Title:  "localization protocol round time vs group size",
+		Paper:  "measured means 1.2/1.6/1.9/2.2/2.5 s for N=3..7",
+		Header: []string{"N", "analytic (s)", "measured (s)"},
+	}
+	env := channel.Dock()
+	for n := 3; n <= 7; n++ {
+		analytic := protocol.DefaultParams(n).RoundTime(true)
+		measured := math.NaN()
+		if n <= 5 { // keep full-stack effort bounded; schedule is exact anyway
+			var vals []float64
+			for k := 0; k < measuredRounds; k++ {
+				cfg := testbed(env, opt.Seed+int64(n*1000+k))
+				cfg.Devices = cfg.Devices[:n]
+				nw, err := sim.NewNetwork(cfg)
+				if err != nil {
+					continue
+				}
+				round, err := nw.RunRound()
+				if err != nil {
+					continue
+				}
+				vals = append(vals, round.Latency)
+			}
+			measured = stats.Mean(vals)
+		}
+		out[n] = analytic
+		table.Rows = append(table.Rows, []string{
+			stats.F(float64(n)), stats.F(analytic), stats.F(measured),
+		})
+	}
+	return out, table
+}
+
+// Flipping measures disambiguation accuracy using 1 voter vs all 3 voters
+// across dock rounds (§3.2: 90.1% with one device's signal, 100% with
+// three).
+func Flipping(opt Options) (single, triple float64, table *stats.Table) {
+	rounds := opt.samples(15)
+	env := channel.Dock()
+	rds := collectRounds(func(seed int64) sim.Config { return testbed(env, seed) }, rounds, opt.Seed)
+	var singleOK, singleTotal, tripleOK, tripleTotal int
+	for _, rd := range rds {
+		truth := rd.nw.TruePositions(0.70)
+		for i := 2; i < len(truth); i++ {
+			sign := rd.round.MicSigns[i]
+			if sign == 0 {
+				continue
+			}
+			cross := truth[i].Sub(truth[0]).XY().Cross(truth[1].Sub(truth[0]).XY())
+			want := 0
+			switch {
+			case cross > 0:
+				want = 1
+			case cross < 0:
+				want = -1
+			}
+			singleTotal++
+			if sign == want {
+				singleOK++
+			}
+		}
+		// Majority vote across all voters.
+		vote := 0
+		for i := 2; i < len(truth); i++ {
+			sign := rd.round.MicSigns[i]
+			if sign == 0 {
+				continue
+			}
+			cross := truth[i].Sub(truth[0]).XY().Cross(truth[1].Sub(truth[0]).XY())
+			switch {
+			case cross > 0:
+				vote += sign
+			case cross < 0:
+				vote -= sign
+			}
+		}
+		tripleTotal++
+		if vote > 0 {
+			tripleOK++
+		}
+	}
+	single = ratio(singleOK, singleTotal)
+	triple = ratio(tripleOK, tripleTotal)
+	table = &stats.Table{
+		ID:     "flipping",
+		Title:  "flipping disambiguation accuracy (dock rounds)",
+		Paper:  "90.1% using one device's signal; 100% using all three",
+		Header: []string{"voters", "accuracy", "n"},
+		Rows: [][]string{
+			{"single", stats.F3(single), stats.F(float64(singleTotal))},
+			{"all (majority)", stats.F3(triple), stats.F(float64(tripleTotal))},
+		},
+	}
+	return single, triple, table
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return float64(a) / float64(b)
+}
+
+// Headline aggregates the paper's top-line numbers from lighter runs of
+// the underlying experiments.
+func Headline(opt Options) *stats.Table {
+	r1d, _ := Fig11a(Options{Seed: opt.Seed, Samples: opt.samples(12)})
+	net, _ := Fig18(Options{Seed: opt.Seed + 1, Samples: opt.samples(6)})
+	table := &stats.Table{
+		ID:     "headline",
+		Title:  "headline results vs paper (§1 key findings)",
+		Paper:  "1D medians 0.48/0.80/0.86 m @10/20/35 m; 2D medians 0.9/1.6 m dock/boathouse; latency 1.56/1.88 s for 4/5 devices",
+		Header: []string{"metric", "paper", "measured"},
+	}
+	table.Rows = append(table.Rows,
+		[]string{"1D median @10 m", "0.48 m", stats.F(stats.Median(r1d[10])) + " m"},
+		[]string{"1D median @20 m", "0.80 m", stats.F(stats.Median(r1d[20])) + " m"},
+		[]string{"1D median @35 m", "0.86 m", stats.F(stats.Median(r1d[35])) + " m"},
+		[]string{"2D median dock", "0.9 m", stats.F(stats.Median(net["dock/all"])) + " m"},
+		[]string{"2D median boathouse", "1.6 m", stats.F(stats.Median(net["boathouse/all"])) + " m"},
+		[]string{"protocol latency N=4", "1.56 s", stats.F(protocol.DefaultParams(4).RoundTime(true)) + " s"},
+		[]string{"protocol latency N=5", "1.88 s", stats.F(protocol.DefaultParams(5).RoundTime(true)) + " s"},
+	)
+	return table
+}

@@ -1,0 +1,205 @@
+package graph
+
+// Rigidity analysis in two dimensions.
+//
+// A framework is (generically) rigid in 2D iff it contains a spanning
+// Laman subgraph: 2n−3 independent edges where independence is
+// (2,3)-sparsity (no subgraph on n′ nodes spans more than 2n′−3 edges).
+// The Lee–Streinu (2,3)-pebble game decides independence in O(n·m):
+// every node holds 2 pebbles; inserting an edge (u,v) requires 4 pebbles
+// present across u and v, gathering them by reversing directed paths.
+
+type pebbleGame struct {
+	n       int
+	pebbles []int
+	// out[v] lists the heads of edges oriented out of v.
+	out [][]int
+}
+
+func newPebbleGame(n int) *pebbleGame {
+	pg := &pebbleGame{n: n, pebbles: make([]int, n), out: make([][]int, n)}
+	for i := range pg.pebbles {
+		pg.pebbles[i] = 2
+	}
+	return pg
+}
+
+// findPebble searches for a node with a free pebble reachable from start
+// along directed edges, excluding the blocked node; on success it reverses
+// the path, moving one pebble to start, and returns true.
+func (pg *pebbleGame) findPebble(start, blocked int) bool {
+	parent := make([]int, pg.n)
+	for i := range parent {
+		parent[i] = -2 // unvisited
+	}
+	parent[start] = -1
+	parent[blocked] = -3 // never enter
+	stack := []int{start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range pg.out[v] {
+			if parent[w] != -2 {
+				continue
+			}
+			parent[w] = v
+			if pg.pebbles[w] > 0 {
+				// Reverse the path w → start.
+				pg.pebbles[w]--
+				pg.pebbles[start]++
+				cur := w
+				for parent[cur] >= 0 {
+					p := parent[cur]
+					// Reverse edge p→cur to cur→p.
+					pg.removeOut(p, cur)
+					pg.out[cur] = append(pg.out[cur], p)
+					cur = p
+				}
+				return true
+			}
+			stack = append(stack, w)
+		}
+	}
+	return false
+}
+
+func (pg *pebbleGame) removeOut(v, w int) {
+	lst := pg.out[v]
+	for i, x := range lst {
+		if x == w {
+			lst[i] = lst[len(lst)-1]
+			pg.out[v] = lst[:len(lst)-1]
+			return
+		}
+	}
+}
+
+// tryInsert attempts to add edge (u,v) as an independent edge.
+func (pg *pebbleGame) tryInsert(u, v int) bool {
+	// Gather up to 4 pebbles on {u, v}.
+	for pg.pebbles[u]+pg.pebbles[v] < 4 {
+		moved := false
+		if pg.pebbles[u] < 2 && pg.findPebble(u, v) {
+			moved = true
+		} else if pg.pebbles[v] < 2 && pg.findPebble(v, u) {
+			moved = true
+		}
+		if !moved {
+			return false
+		}
+	}
+	// Insert: consume a pebble from u, orient edge u→v.
+	pg.pebbles[u]--
+	pg.out[u] = append(pg.out[u], v)
+	return true
+}
+
+// RankRigidity returns the number of independent edges of g under
+// (2,3)-sparsity — the rank of the 2D generic rigidity matroid.
+func (g *Graph) RankRigidity() int {
+	pg := newPebbleGame(g.n)
+	rank := 0
+	for _, e := range g.Edges() {
+		if pg.tryInsert(e.Low, e.High) {
+			rank++
+		}
+	}
+	return rank
+}
+
+// Rigid reports whether g is generically rigid in 2D: the rigidity rank
+// reaches 2n−3 (with the usual small-case conventions: graphs on 0–1 nodes
+// are rigid; 2 nodes are rigid iff linked).
+func (g *Graph) Rigid() bool {
+	switch g.n {
+	case 0, 1:
+		return true
+	case 2:
+		return g.M() == 1
+	}
+	return g.RankRigidity() == 2*g.n-3
+}
+
+// RedundantlyRigid reports whether g stays rigid after removal of any
+// single edge.
+func (g *Graph) RedundantlyRigid() bool {
+	if !g.Rigid() {
+		return false
+	}
+	for _, e := range g.Edges() {
+		h := g.Clone()
+		h.RemoveEdge(e.Low, e.High)
+		if !h.Rigid() {
+			return false
+		}
+	}
+	return true
+}
+
+// UniquelyRealizable reports whether pairwise distances over g determine
+// node positions uniquely (up to congruence): for n ≥ 4, redundant
+// rigidity plus 3-connectivity (Jackson–Jordán / the condition quoted from
+// [41] in §2.1.2); for n ≤ 3 the small-case rules (a triangle is uniquely
+// realizable, anything missing a link is not, except trivial n ≤ 2).
+func (g *Graph) UniquelyRealizable() bool {
+	switch {
+	case g.n <= 1:
+		return true
+	case g.n == 2:
+		return g.M() == 1
+	case g.n == 3:
+		return g.M() == 3
+	}
+	return g.RedundantlyRigid() && g.KConnected(3)
+}
+
+// FromWeights builds the link graph implied by a weight matrix: nodes i, j
+// are adjacent iff w[i][j] > 0. The matrix is treated as symmetric (an
+// entry counts if either triangle is positive).
+func FromWeights(w [][]float64) *Graph {
+	n := len(w)
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var wij float64
+			if j < len(w[i]) {
+				wij = w[i][j]
+			}
+			if i < len(w[j]) && w[j][i] > wij {
+				wij = w[j][i]
+			}
+			if wij > 0 {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// Subsets enumerates all k-element subsets of the edge slice, invoking fn
+// for each. fn must not retain the slice; it is reused. Enumeration stops
+// early if fn returns false.
+func Subsets(edges []Edge, k int, fn func([]Edge) bool) {
+	if k <= 0 || k > len(edges) {
+		return
+	}
+	idx := make([]int, k)
+	buf := make([]Edge, k)
+	var rec func(start, depth int) bool
+	rec = func(start, depth int) bool {
+		if depth == k {
+			for i, id := range idx {
+				buf[i] = edges[id]
+			}
+			return fn(buf)
+		}
+		for i := start; i <= len(edges)-(k-depth); i++ {
+			idx[depth] = i
+			if !rec(i+1, depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, 0)
+}

@@ -1,0 +1,91 @@
+// Package orient models the leader-orientation study of §3.1 (Fig. 16):
+// a diver rotates to face a visible buddy; the residual pointing error is
+// what the localization pipeline sees as ε_θ. The paper measured it with
+// a camera and checkerboard; we reproduce that measurement chain with a
+// pinhole-camera model so the same statistic (≈5° mean) drives Fig. 6c.
+package orient
+
+import (
+	"math"
+	"math/rand"
+
+	"uwpos/internal/geom"
+)
+
+// Camera is a pinhole model of the leader's smartphone camera.
+type Camera struct {
+	FocalPx  float64 // focal length in pixels
+	WidthPx  int     // image width
+	HeightPx int     // image height
+	PixNoise float64 // corner-detection noise, pixels (1σ)
+}
+
+// DefaultCamera matches a phone camera shooting 1920×1080 video with a
+// ~70° horizontal field of view; underwater turbidity makes checkerboard
+// corner detection noisier than in air.
+func DefaultCamera() Camera {
+	w := 1920
+	fov := geom.Deg2Rad(70)
+	return Camera{
+		FocalPx:  float64(w) / 2 / math.Tan(fov/2),
+		WidthPx:  w,
+		HeightPx: 1080,
+		PixNoise: 2.5,
+	}
+}
+
+// HumanModel captures how precisely a person can rotate their body and
+// arm to put a target at the camera's center. The paper's two users
+// averaged ≈5°; aiming degrades slightly with distance as the target
+// shrinks.
+type HumanModel struct {
+	BaseErrDeg   float64 // 1σ of residual aim at close range
+	PerMeterDeg  float64 // additional 1σ per metre of distance
+	ArmTremorDeg float64 // high-frequency arm jitter during capture
+}
+
+// DefaultHuman returns parameters calibrated so the average measured
+// orientation error across 3–9 m lands near the paper's 5.0°.
+func DefaultHuman() HumanModel {
+	return HumanModel{BaseErrDeg: 3.2, PerMeterDeg: 0.25, ArmTremorDeg: 1.0}
+}
+
+// AimOnce simulates one orient-and-capture trial at the given distance.
+// It returns the true residual pointing error (deg) and the camera's
+// estimate of it via the checkerboard measurement chain.
+func AimOnce(cam Camera, human HumanModel, distM float64, rng *rand.Rand) (trueErrDeg, measuredErrDeg float64) {
+	sigma := human.BaseErrDeg + human.PerMeterDeg*distM
+	aim := sigma * rng.NormFloat64()
+	tremor := human.ArmTremorDeg * rng.NormFloat64()
+	trueErrDeg = math.Abs(aim + tremor)
+
+	// Camera measurement: the checkerboard center projects to a pixel
+	// offset u = f·tan(θ); corner noise perturbs the estimate, shrinking
+	// relative accuracy as the board gets smaller/farther.
+	theta := geom.Deg2Rad(trueErrDeg)
+	u := cam.FocalPx * math.Tan(theta)
+	// Corner noise scales with distance (fewer pixels per square).
+	noise := cam.PixNoise * (1 + distM/6) * rng.NormFloat64()
+	uMeas := u + noise
+	measuredErrDeg = geom.Rad2Deg(math.Atan(math.Abs(uMeas) / cam.FocalPx))
+	return trueErrDeg, measuredErrDeg
+}
+
+// Study runs trials at each distance and reports the mean measured error
+// per distance plus the grand mean — the Fig. 16 summary statistics.
+func Study(cam Camera, human HumanModel, distancesM []float64, trialsPer int, rng *rand.Rand) (perDist []float64, grand float64) {
+	perDist = make([]float64, len(distancesM))
+	var total float64
+	var count int
+	for di, d := range distancesM {
+		var sum float64
+		for t := 0; t < trialsPer; t++ {
+			_, m := AimOnce(cam, human, d, rng)
+			sum += m
+		}
+		perDist[di] = sum / float64(trialsPer)
+		total += sum
+		count += trialsPer
+	}
+	return perDist, total / float64(count)
+}

@@ -1,0 +1,58 @@
+package orient
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAimOnceMeasurementTracksTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cam := DefaultCamera()
+	human := DefaultHuman()
+	var sumDiff float64
+	const trials = 500
+	for i := 0; i < trials; i++ {
+		tru, meas := AimOnce(cam, human, 5, rng)
+		if tru < 0 || meas < 0 {
+			t.Fatal("errors must be non-negative")
+		}
+		sumDiff += meas - tru
+	}
+	// The camera chain is close to unbiased at phone focal lengths.
+	if avg := sumDiff / trials; avg > 1.0 || avg < -1.0 {
+		t.Errorf("measurement bias %.2f°", avg)
+	}
+}
+
+func TestStudyMatchesPaperMean(t *testing.T) {
+	// Fig. 16: average orientation error across users and distances ≈5.0°.
+	rng := rand.New(rand.NewSource(2))
+	perDist, grand := Study(DefaultCamera(), DefaultHuman(), []float64{3, 5, 7, 9}, 400, rng)
+	if len(perDist) != 4 {
+		t.Fatal("per-distance length")
+	}
+	if grand < 3.5 || grand > 6.5 {
+		t.Errorf("grand mean %.2f°, want ≈5°", grand)
+	}
+	// Error grows (weakly) with distance.
+	if perDist[3] <= perDist[0]*0.8 {
+		t.Errorf("distance trend broken: %v", perDist)
+	}
+}
+
+func TestFartherIsHarder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cam := DefaultCamera()
+	human := DefaultHuman()
+	mean := func(d float64) float64 {
+		var s float64
+		for i := 0; i < 800; i++ {
+			tru, _ := AimOnce(cam, human, d, rng)
+			s += tru
+		}
+		return s / 800
+	}
+	if mean(12) <= mean(2) {
+		t.Error("aim error should grow with distance")
+	}
+}

@@ -1,0 +1,70 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWatchSirenDrainMatchesPaper(t *testing.T) {
+	// §3.1: the watch lost 90% in 4.5 h of continuous siren.
+	got := WatchSiren().DrainAfter(4.5)
+	if math.Abs(got-0.90) > 0.05 {
+		t.Errorf("watch drain %.2f, want ≈0.90", got)
+	}
+}
+
+func TestPhonePreambleDrainMatchesPaper(t *testing.T) {
+	// §3.1: the phone lost 63% in 4.5 h of 3 s-period preambles.
+	got := PhonePreambles().DrainAfter(4.5)
+	if math.Abs(got-0.63) > 0.05 {
+		t.Errorf("phone drain %.2f, want ≈0.63", got)
+	}
+}
+
+func TestOutlastsRecreationalDive(t *testing.T) {
+	// Both devices must survive well past a maximum recreational dive
+	// (~1 h): drain under 25% for the phone, under 25% for the watch.
+	if d := WatchSiren().DrainAfter(1); d > 0.25 {
+		t.Errorf("watch 1 h drain %.2f", d)
+	}
+	if d := PhonePreambles().DrainAfter(1); d > 0.25 {
+		t.Errorf("phone 1 h drain %.2f", d)
+	}
+}
+
+func TestDrainCapsAtOne(t *testing.T) {
+	if d := WatchSiren().DrainAfter(1000); d != 1 {
+		t.Errorf("drain %g, want cap at 1", d)
+	}
+	empty := Profile{BatteryWh: 0}
+	if empty.DrainAfter(1) != 1 {
+		t.Error("zero battery is always drained")
+	}
+}
+
+func TestHoursToDrain(t *testing.T) {
+	p := WatchSiren()
+	h, err := p.HoursToDrain(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.DrainAfter(h)-0.9) > 1e-9 {
+		t.Errorf("inverse inconsistent: %g h", h)
+	}
+	if _, err := p.HoursToDrain(0); err == nil {
+		t.Error("zero fraction should error")
+	}
+	if _, err := p.HoursToDrain(1.5); err == nil {
+		t.Error(">1 fraction should error")
+	}
+	if _, err := (Profile{BatteryWh: 1}).HoursToDrain(0.5); err == nil {
+		t.Error("zero draw should error")
+	}
+}
+
+func TestAverageDrawComposition(t *testing.T) {
+	p := Profile{IdleW: 1, TxW: 2, RxDSPW: 4, TxDutyCycle: 0.5, RxDutyCycle: 0.25}
+	if got := p.AverageDraw(); math.Abs(got-3) > 1e-12 {
+		t.Errorf("draw %g, want 3", got)
+	}
+}

@@ -1,0 +1,84 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+
+	"uwpos/internal/geom"
+)
+
+// Transmission is one scheduled packet in absolute time (leader TX = 0).
+type Transmission struct {
+	Device int
+	StartS float64 // first sample leaves the speaker
+	EndS   float64 // last sample leaves the speaker
+}
+
+// Schedule derives the absolute transmission times of a full round for
+// the given device positions, assuming every device hears the leader
+// directly (the §2.3 base case): device i transmits at τ₀ᵢ + Δ0 + (i−1)Δ1.
+func (p Params) Schedule(pos []geom.Vec3, c float64) ([]Transmission, error) {
+	if len(pos) != p.N {
+		return nil, fmt.Errorf("protocol: %d positions for N=%d", len(pos), p.N)
+	}
+	if c <= 0 {
+		return nil, fmt.Errorf("protocol: non-positive sound speed")
+	}
+	out := make([]Transmission, 0, p.N)
+	out = append(out, Transmission{Device: 0, StartS: 0, EndS: p.TPacket})
+	for i := 1; i < p.N; i++ {
+		tau := pos[0].Dist(pos[i]) / c
+		start := tau + p.SlotTime(i)
+		out = append(out, Transmission{Device: i, StartS: start, EndS: start + p.TPacket})
+	}
+	return out, nil
+}
+
+// Collision reports two packets overlapping at some receiver.
+type Collision struct {
+	A, B     int     // transmitting devices
+	Receiver int     // device that hears both at once
+	OverlapS float64 // overlap duration at that receiver
+}
+
+// FindCollisions checks whether any receiver hears two packets
+// overlapping in time, given the geometry. The paper's guard condition
+// T_guard > 2·τ_max guarantees none; this verifies it constructively for
+// a concrete deployment (and exposes what happens when the guard is
+// violated, e.g. divers beyond the 32 m design range).
+func (p Params) FindCollisions(pos []geom.Vec3, c float64) ([]Collision, error) {
+	sched, err := p.Schedule(pos, c)
+	if err != nil {
+		return nil, err
+	}
+	var out []Collision
+	for r := 0; r < p.N; r++ {
+		type arrival struct {
+			dev        int
+			start, end float64
+		}
+		var arrs []arrival
+		for _, tx := range sched {
+			if tx.Device == r {
+				continue
+			}
+			tau := pos[tx.Device].Dist(pos[r]) / c
+			arrs = append(arrs, arrival{tx.Device, tx.StartS + tau, tx.EndS + tau})
+		}
+		sort.Slice(arrs, func(i, j int) bool { return arrs[i].start < arrs[j].start })
+		for i := 1; i < len(arrs); i++ {
+			prev, cur := arrs[i-1], arrs[i]
+			if cur.start < prev.end {
+				out = append(out, Collision{
+					A: prev.dev, B: cur.dev, Receiver: r,
+					OverlapS: prev.end - cur.start,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// GuardSufficientFor returns the maximum device separation (m) the guard
+// interval tolerates without collisions: c·T_guard/2 (§2.3).
+func (p Params) GuardSufficientFor(c float64) float64 { return p.MaxRange(c) }

@@ -1,0 +1,93 @@
+package protocol
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"uwpos/internal/geom"
+)
+
+func TestScheduleBaseCase(t *testing.T) {
+	p := DefaultParams(3)
+	pos := []geom.Vec3{{X: 0}, {X: 15}, {X: 30}}
+	const c = 1500.0
+	sched, err := p.Schedule(pos, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched[0].StartS != 0 || math.Abs(sched[0].EndS-p.TPacket) > 1e-12 {
+		t.Errorf("leader packet %+v", sched[0])
+	}
+	// Device 1: starts at τ (15/1500=10 ms) + Δ0.
+	want := 0.01 + 0.6
+	if math.Abs(sched[1].StartS-want) > 1e-9 {
+		t.Errorf("device 1 start %g, want %g", sched[1].StartS, want)
+	}
+	// Errors.
+	if _, err := p.Schedule(pos[:2], c); err == nil {
+		t.Error("wrong position count should error")
+	}
+	if _, err := p.Schedule(pos, 0); err == nil {
+		t.Error("zero sound speed should error")
+	}
+}
+
+func TestNoCollisionsWithinDesignRange(t *testing.T) {
+	// Any geometry within the paper's 32 m design range must be
+	// collision-free under the default guard (T_guard = 42 ms > 2τ_max).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + int(uint(seed)%6)
+		p := DefaultParams(n)
+		const c = 1500.0
+		limit := p.MaxRange(c) // 31.5 m
+		pos := make([]geom.Vec3, n)
+		for i := range pos {
+			// Confine to a ball of diameter < limit around the leader.
+			r := rng.Float64() * limit / 2
+			ang := rng.Float64() * 2 * math.Pi
+			pos[i] = geom.Vec3{X: r * math.Cos(ang), Y: r * math.Sin(ang), Z: rng.Float64() * 5}
+		}
+		cols, err := p.FindCollisions(pos, c)
+		return err == nil && len(cols) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollisionsBeyondGuard(t *testing.T) {
+	// Stretch the network far beyond the design range with a tiny guard.
+	// A far early-slot device followed by a near late-slot device makes
+	// their packets overlap at the leader: collisions need non-monotone
+	// geometry (along a line with increasing range, arrival gaps never
+	// shrink below Δ1).
+	p := DefaultParams(4)
+	p.TGuard = 0.001 // 1 ms guard ↔ 0.75 m design range
+	const c = 1500.0
+	pos := []geom.Vec3{{X: 0}, {X: 120}, {X: 5}, {X: 60}}
+	cols, err := p.FindCollisions(pos, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) == 0 {
+		t.Fatal("expected collisions with a 1 ms guard at 120 m spread")
+	}
+	for _, col := range cols {
+		if col.OverlapS <= 0 {
+			t.Errorf("non-positive overlap %+v", col)
+		}
+		if col.A == col.B {
+			t.Errorf("self collision %+v", col)
+		}
+	}
+}
+
+func TestGuardSufficientFor(t *testing.T) {
+	p := DefaultParams(5)
+	if got := p.GuardSufficientFor(1500); math.Abs(got-31.5) > 1e-9 {
+		t.Errorf("guard range %g", got)
+	}
+}

@@ -1,0 +1,164 @@
+// Package ranging implements the receiver pipeline of §2.2: preamble
+// detection (cross-correlation candidates validated by PN auto-correlation),
+// least-squares channel estimation, and the dual-microphone joint direct-
+// path search that turns channel profiles into time-of-arrival estimates.
+// It also implements the two baselines the paper compares against —
+// BeepBeep-style chirp correlation and CAT-style FMCW mixing — plus the
+// per-subcarrier SNR estimator used for Fig. 22.
+package ranging
+
+import (
+	"sort"
+
+	"uwpos/internal/dsp"
+	"uwpos/internal/sig"
+)
+
+// Detection is one validated preamble occurrence in a microphone stream.
+type Detection struct {
+	CoarseIndex int     // sample index of the preamble start (coarse sync)
+	CorrPeak    float64 // normalized cross-correlation peak height
+	AutoCorr    float64 // PN auto-correlation validation score in [−1, 1]
+}
+
+// DetectorConfig tunes preamble detection.
+type DetectorConfig struct {
+	// CandidateThreshold gates normalized cross-correlation peaks
+	// considered as candidates (default 0.15 — deliberately permissive;
+	// validation does the real work).
+	CandidateThreshold float64
+	// AutoCorrThreshold is the PN auto-correlation acceptance level
+	// (paper: 0.35).
+	AutoCorrThreshold float64
+	// MinSeparation suppresses duplicate detections closer than this many
+	// samples (default: half a preamble).
+	MinSeparation int
+	// MaxCandidates bounds work per stream (default 64).
+	MaxCandidates int
+	// DisablePrefilter skips the 1–5 kHz band-pass applied before
+	// correlation and validation. The prefilter discards out-of-band
+	// noise — roughly a 10 dB effective SNR gain against white ambient
+	// noise — and is on by default, as any practical receiver would be.
+	DisablePrefilter bool
+}
+
+func (c *DetectorConfig) defaults(p sig.Params) {
+	if c.CandidateThreshold == 0 {
+		c.CandidateThreshold = 0.15
+	}
+	if c.AutoCorrThreshold == 0 {
+		c.AutoCorrThreshold = 0.35
+	}
+	if c.MinSeparation == 0 {
+		c.MinSeparation = p.PreambleLen() / 2
+	}
+	if c.MaxCandidates == 0 {
+		c.MaxCandidates = 64
+	}
+}
+
+// Detector finds ranging preambles in microphone streams.
+type Detector struct {
+	params   sig.Params
+	cfg      DetectorConfig
+	template []float64
+}
+
+// NewDetector builds a detector for the given preamble numerology.
+func NewDetector(p sig.Params, cfg DetectorConfig) *Detector {
+	cfg.defaults(p)
+	return &Detector{params: p, cfg: cfg, template: p.Preamble()}
+}
+
+// Params returns the preamble numerology the detector was built with.
+func (d *Detector) Params() sig.Params { return d.params }
+
+// Template returns the reference preamble waveform.
+func (d *Detector) Template() []float64 { return d.template }
+
+// Detect scans the stream and returns validated detections sorted by index.
+//
+// Stage 1 (cross-correlation) proposes candidate offsets; underwater spiky
+// noise produces abundant false candidates here (§2.2.1). Stage 2 validates
+// each candidate by checking that the four received OFDM symbols, after
+// unwinding the PN signs, are mutually coherent — noise bursts almost never
+// replicate themselves four times at the symbol spacing.
+func (d *Detector) Detect(stream []float64) []Detection {
+	if !d.cfg.DisablePrefilter {
+		stream = sig.BandLimit(stream, d.params.BandLowHz, d.params.BandHighHz, d.params.SampleRate)
+	}
+	corr := dsp.NormalizedCrossCorrelate(stream, d.template)
+	if corr == nil {
+		return nil
+	}
+	candidates := dsp.FindPeaks(corr, d.cfg.CandidateThreshold)
+	if len(candidates) == 0 {
+		return nil
+	}
+	// Strongest first, bounded.
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Value > candidates[j].Value })
+	if len(candidates) > d.cfg.MaxCandidates {
+		candidates = candidates[:d.cfg.MaxCandidates]
+	}
+	var out []Detection
+	for _, cand := range candidates {
+		score := d.ValidateCandidate(stream, cand.Index)
+		if score < d.cfg.AutoCorrThreshold {
+			continue
+		}
+		dup := false
+		for _, prev := range out {
+			if abs(prev.CoarseIndex-cand.Index) < d.cfg.MinSeparation {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		out = append(out, Detection{CoarseIndex: cand.Index, CorrPeak: cand.Value, AutoCorr: score})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CoarseIndex < out[j].CoarseIndex })
+	return out
+}
+
+// ValidateCandidate computes the PN auto-correlation score for a candidate
+// preamble start: the mean pairwise correlation of the four PN-corrected
+// OFDM symbol bodies. Out-of-range candidates score 0.
+func (d *Detector) ValidateCandidate(stream []float64, start int) float64 {
+	p := d.params
+	if start < 0 || start+p.PreambleLen() > len(stream) {
+		return 0
+	}
+	segs := make([][]float64, p.NumSymbols)
+	for s := 0; s < p.NumSymbols; s++ {
+		a, b := p.SymbolAt(s)
+		seg := make([]float64, p.SymbolLen)
+		copy(seg, stream[start+a:start+b])
+		if p.PN[s] < 0 {
+			for i := range seg {
+				seg[i] = -seg[i]
+			}
+		}
+		segs[s] = seg
+	}
+	var sum float64
+	var count int
+	for i := 0; i < len(segs); i++ {
+		for j := i + 1; j < len(segs); j++ {
+			sum += dsp.SegmentCorrelation(segs[i], segs[j])
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

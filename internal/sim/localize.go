@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"math"
+
+	"uwpos/internal/core"
+	"uwpos/internal/device"
+	"uwpos/internal/geom"
+)
+
+// LeaderOrientation returns the orientation the leader device adopts when
+// pointing at device 1: the phone is held with its microphone axis
+// perpendicular to the pointing direction (landscape, facing the diver),
+// so the two microphones straddle the pointing line as left/right ears —
+// the geometry §2.1.4's flipping vote relies on.
+//
+// pointErrRad adds aiming error (ε_θ, from the Fig. 16 study).
+func LeaderOrientation(leaderPos, pointedPos geom.Vec3, pointErrRad float64) (device.Orientation, float64) {
+	bearing := pointedPos.Sub(leaderPos).XY().Angle() + pointErrRad
+	return device.Orientation{AzimuthRad: bearing - math.Pi/2}, bearing
+}
+
+// LocalizeResult pairs the core output with per-device errors.
+type LocalizeResult struct {
+	Core *core.Result
+	// Err2D[i] is the horizontal-plane error vs ground truth (leader-
+	// relative frame); the leader's own entry is 0.
+	Err2D []float64
+	// Err3D[i] includes the depth component.
+	Err3D []float64
+}
+
+// LocalizeRound feeds a protocol round into the topology pipeline and
+// scores it against ground truth. bearing is the leader's pointing bearing
+// in the world frame (from LeaderOrientation); cfg zero-value uses the
+// paper defaults.
+func (nw *Network) LocalizeRound(res *RoundResult, bearing float64, cfg core.Config) (*LocalizeResult, error) {
+	if cfg.StressAccept == 0 {
+		cfg = core.DefaultConfig()
+	}
+	in := core.Input{
+		D:               res.D,
+		W:               res.W,
+		Depths:          res.Depths,
+		MicSigns:        res.MicSigns,
+		PointingBearing: bearing,
+	}
+	cr, err := core.Localize(in, cfg)
+	if err != nil {
+		return nil, err
+	}
+	truth := nw.TruePositions(queryAt)
+	out := &LocalizeResult{
+		Core:  cr,
+		Err2D: make([]float64, nw.N()),
+		Err3D: make([]float64, nw.N()),
+	}
+	for i := range truth {
+		wantXY := truth[i].Sub(truth[0]).XY()
+		out.Err2D[i] = cr.Planar[i].Dist(wantXY)
+		want3 := geom.Vec3{X: wantXY.X, Y: wantXY.Y, Z: truth[i].Z}
+		got3 := cr.Positions[i]
+		out.Err3D[i] = got3.Sub(want3).Norm()
+	}
+	return out, nil
+}

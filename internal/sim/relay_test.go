@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"uwpos/internal/channel"
+	"uwpos/internal/core"
+	"uwpos/internal/device"
+	"uwpos/internal/geom"
+)
+
+// TestRelaySyncWhenLeaderUnheard exercises the §2.3 out-of-range path:
+// device 4 cannot hear the leader at all and must synchronize off another
+// device's slot (announcing its sync source), using the wrap arithmetic
+// when the first heard slot leaves no processing margin.
+func TestRelaySyncWhenLeaderUnheard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full acoustic round")
+	}
+	cfg := fiveDeviceDock(11)
+	cfg.Faults = []LinkFault{{A: 0, B: 4, Drop: true}}
+	// Lossless reports: the paper's one-hop comm cannot return device 4's
+	// report through a dead leader link (§5); ranging must still work.
+	cfg.DisableReportBack = true
+	nw, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	round, err := nw.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(round.Silent) != 0 {
+		t.Fatalf("silent devices %v", round.Silent)
+	}
+	d4 := nw.devices[4]
+	if d4.sync.From == 0 {
+		t.Fatalf("device 4 should have relay-synced, got %+v", d4.sync)
+	}
+	// The dead link stays unresolved.
+	if round.W[0][4] != 0 {
+		t.Error("0-4 should be unresolved (no acoustic path)")
+	}
+	// All peer links of device 4 resolve with sane errors.
+	for _, j := range []int{1, 2, 3} {
+		if round.W[j][4] == 0 {
+			t.Errorf("link %d-4 unresolved", j)
+			continue
+		}
+		if e := math.Abs(round.D[j][4] - round.TrueD[j][4]); e > 1.5 {
+			t.Errorf("link %d-4 error %.2f m", j, e)
+		}
+	}
+	// Localization still possible: the graph without 0-4 is uniquely
+	// realizable for 5 nodes.
+	_, bearing := LeaderOrientation(cfg.Devices[0].Pos, cfg.Devices[1].Pos, 0)
+	loc, err := nw.LocalizeRound(round, bearing, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range loc.Err2D {
+		if e > 3 {
+			t.Errorf("device %d 2D error %.2f m", i, e)
+		}
+	}
+}
+
+// TestThreeDeviceMinimum runs the smallest localizable group (§5: "our
+// approach necessitates at least three divers").
+func TestThreeDeviceMinimum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full acoustic round")
+	}
+	s9 := device.GalaxyS9
+	specs := []DeviceSpec{
+		{Model: s9(), Pos: geom.Vec3{X: 0, Y: 0, Z: 2.0}},
+		{Model: s9(), Pos: geom.Vec3{X: 7, Y: 1, Z: 2.5}},
+		{Model: s9(), Pos: geom.Vec3{X: 11, Y: -6, Z: 1.5}},
+	}
+	o, bearing := LeaderOrientation(specs[0].Pos, specs[1].Pos, 0)
+	specs[0].Orient = o
+	nw, err := NewNetwork(Config{Env: channel.Dock(), Devices: specs, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	round, err := nw.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round.Latency < 1.0 || round.Latency > 1.5 {
+		t.Errorf("N=3 latency %.2f s, want ≈1.24", round.Latency)
+	}
+	loc, err := nw.LocalizeRound(round, bearing, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range loc.Err2D {
+		if e > 2 {
+			t.Errorf("device %d error %.2f m", i, e)
+		}
+	}
+}
+
+// TestWatchInTheGroup mixes an Apple Watch Ultra (3-mic, weak speaker,
+// dive gauge) into a phone group.
+func TestWatchInTheGroup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full acoustic round")
+	}
+	cfg := fiveDeviceDock(31)
+	cfg.Devices[3].Model = device.WatchUltra()
+	cfg.Devices[3].WatchGauge = true
+	nw, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	round, err := nw.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The watch's weak TX may lose some long links, but it must be ranged
+	// by the leader (13 m).
+	if round.W[0][3] == 0 {
+		t.Error("leader could not range the watch")
+	} else if e := math.Abs(round.D[0][3] - round.TrueD[0][3]); e > 1.5 {
+		t.Errorf("watch ranging error %.2f m", e)
+	}
+	// Its dive-gauge depth is tighter than the phones' barometers.
+	if e := math.Abs(round.Depths[3] - round.TrueDepths[3]); e > 0.6 {
+		t.Errorf("watch depth error %.2f m", e)
+	}
+}

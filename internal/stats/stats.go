@@ -1,0 +1,158 @@
+// Package stats provides the summary statistics and CDF machinery the
+// benchmark harness uses to report each figure.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Median returns the middle value (mean of middles for even n).
+// NaN for empty input.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentile returns the p-th percentile (0–100) using linear
+// interpolation between order statistics. NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the sample standard deviation (NaN for n < 2).
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, v := range xs {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// CDF returns (value, cumulative fraction) pairs over sorted xs.
+func CDF(xs []float64) [][2]float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([][2]float64, len(s))
+	for i, v := range s {
+		out[i] = [2]float64{v, float64(i+1) / float64(len(s))}
+	}
+	return out
+}
+
+// CDFAt returns the fraction of xs ≤ v.
+func CDFAt(xs []float64, v float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	n := 0
+	for _, x := range xs {
+		if x <= v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Summary formats median / 95th for a sample.
+func Summary(xs []float64) string {
+	return fmt.Sprintf("median %.2f, 95th %.2f (n=%d)", Median(xs), Percentile(xs, 95), len(xs))
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string // e.g. "fig11a"
+	Title  string
+	Paper  string // what the paper reports (shape to compare against)
+	Header []string
+	Rows   [][]string
+	Notes  string
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	cols := len(t.Header)
+	width := make([]int, cols)
+	for c, h := range t.Header {
+		width[c] = len(h)
+	}
+	for _, row := range t.Rows {
+		for c := 0; c < cols && c < len(row); c++ {
+			if len(row[c]) > width[c] {
+				width[c] = len(row[c])
+			}
+		}
+	}
+	line := func(cells []string) string {
+		s := ""
+		for c := 0; c < cols; c++ {
+			cell := ""
+			if c < len(cells) {
+				cell = cells[c]
+			}
+			s += fmt.Sprintf("%-*s  ", width[c], cell)
+		}
+		return s + "\n"
+	}
+	out := fmt.Sprintf("== %s — %s ==\n", t.ID, t.Title)
+	if t.Paper != "" {
+		out += "paper: " + t.Paper + "\n"
+	}
+	out += line(t.Header)
+	for _, row := range t.Rows {
+		out += line(row)
+	}
+	if t.Notes != "" {
+		out += "note: " + t.Notes + "\n"
+	}
+	return out
+}
+
+// F formats a float at 2 decimals (the table cell helper).
+func F(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// F3 formats a float at 3 decimals.
+func F3(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f", v)
+}

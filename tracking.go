@@ -1,0 +1,73 @@
+package uwpos
+
+import (
+	"math"
+
+	"uwpos/internal/geom"
+	"uwpos/internal/track"
+)
+
+// TrackerConfig tunes the continuous-tracking extension (§5 of the paper
+// flags sensor-fusion tracking as future work; this is the acoustic-fix
+// half: a constant-velocity filter over repeated Locate() rounds).
+type TrackerConfig struct {
+	// ProcessAccel is the 1σ unmodelled diver acceleration in m/s²
+	// (default 0.2 — responsive; use ~0.01 for maximum smoothing of a
+	// station-keeping group).
+	ProcessAccel float64
+	// FixStd is the 1σ accuracy of one localization fix in metres
+	// (default 0.8, matching the deployment medians).
+	FixStd float64
+	// MaxSpeed clamps velocity estimates (default 1.5 m/s).
+	MaxSpeed float64
+}
+
+// GroupTracker fuses successive localization rounds into per-diver
+// position/velocity tracks without continuous acoustic transmission.
+type GroupTracker struct {
+	inner *track.GroupTracker
+}
+
+// NewGroupTracker builds a tracker for a dive group.
+func NewGroupTracker(cfg TrackerConfig) *GroupTracker {
+	return &GroupTracker{inner: track.NewGroupTracker(track.FilterConfig{
+		ProcessAccel: cfg.ProcessAccel,
+		FixStd:       cfg.FixStd,
+		MaxSpeed:     cfg.MaxSpeed,
+	})}
+}
+
+// AddRound feeds one Locate() outcome taken at time t (seconds since the
+// dive started; rounds must arrive in time order).
+func (g *GroupTracker) AddRound(t float64, result *Result) error {
+	positions := make([]geom.Vec3, len(result.Positions))
+	for _, p := range result.Positions {
+		positions[p.Device] = p.Pos
+	}
+	return g.inner.Fix(t, positions)
+}
+
+// PositionsAt extrapolates every diver's track to time t.
+func (g *GroupTracker) PositionsAt(t float64) map[int]Vec3 {
+	return g.inner.PositionsAt(t)
+}
+
+// VelocityOf returns the velocity estimate for a diver (zero vector if
+// untracked).
+func (g *GroupTracker) VelocityOf(device int) Vec2 {
+	tr := g.inner.Tracker(device)
+	if tr == nil {
+		return Vec2{}
+	}
+	return tr.Velocity()
+}
+
+// UncertaintyOf returns the 1σ position uncertainty of a diver's track in
+// metres (+Inf if untracked).
+func (g *GroupTracker) UncertaintyOf(device int) float64 {
+	tr := g.inner.Tracker(device)
+	if tr == nil {
+		return math.Inf(1)
+	}
+	return tr.Uncertainty()
+}
