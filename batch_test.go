@@ -1,0 +1,100 @@
+package uwpos
+
+import (
+	"context"
+	"testing"
+)
+
+func batchConfig(seed int64) SystemConfig {
+	return SystemConfig{
+		Env: Dock(),
+		Divers: []Diver{
+			{Pos: Vec3{X: 0, Y: 0, Z: 2}},
+			{Pos: Vec3{X: 6, Y: 1.5, Z: 2.5}},
+			{Pos: Vec3{X: 13, Y: -5, Z: 1.5}},
+		},
+		Seed: seed,
+	}
+}
+
+func TestLocateNDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full system rounds are expensive")
+	}
+	run := func(workers int) []BatchOutcome {
+		sys, err := NewSystem(batchConfig(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := sys.LocateN(context.Background(), 3, BatchOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(3)
+	if len(serial) != 3 || len(parallel) != 3 {
+		t.Fatalf("lengths %d/%d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		a, b := serial[i], parallel[i]
+		if (a.Err == nil) != (b.Err == nil) {
+			t.Fatalf("trial %d error mismatch: %v vs %v", i, a.Err, b.Err)
+		}
+		if a.Err != nil {
+			continue
+		}
+		for d := range a.Outcome.Result.Positions {
+			pa, pb := a.Outcome.Result.Positions[d].Pos, b.Outcome.Result.Positions[d].Pos
+			if pa != pb {
+				t.Fatalf("trial %d device %d: %v vs %v", i, d, pa, pb)
+			}
+		}
+	}
+	// Distinct trials must see distinct simulated rounds.
+	if len(serial) > 1 && serial[0].Err == nil && serial[1].Err == nil {
+		same := true
+		for d := range serial[0].Outcome.Result.Positions {
+			if serial[0].Outcome.Result.Positions[d].Pos != serial[1].Outcome.Result.Positions[d].Pos {
+				same = false
+			}
+		}
+		if same {
+			t.Error("trials 0 and 1 produced identical rounds (seeding broken)")
+		}
+	}
+}
+
+func TestBatchRunsMixedScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full system rounds are expensive")
+	}
+	scenarios := []SystemConfig{
+		batchConfig(3),
+		{Env: Dock()}, // invalid: too few divers
+		batchConfig(4),
+	}
+	out, err := Batch(context.Background(), scenarios, BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("%d outcomes", len(out))
+	}
+	if out[0].Err != nil || out[2].Err != nil {
+		t.Errorf("valid scenarios failed: %v / %v", out[0].Err, out[2].Err)
+	}
+	if out[1].Err == nil {
+		t.Error("invalid scenario did not surface its error")
+	}
+	if out[0].Outcome == nil || len(out[0].Outcome.Result.Positions) != 3 {
+		t.Error("scenario 0 outcome malformed")
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	if _, err := Batch(context.Background(), nil, BatchOptions{}); err == nil {
+		t.Error("empty batch should error")
+	}
+}

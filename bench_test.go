@@ -7,6 +7,7 @@ package uwpos
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"uwpos/internal/experiments"
@@ -17,6 +18,24 @@ func benchOpt(b *testing.B, samples int) experiments.Options {
 	b.Helper()
 	return experiments.Options{Seed: 1, Samples: samples, Quick: true}
 }
+
+// BenchmarkEngineSerial vs BenchmarkEngineParallel run the identical
+// engine workload at 1 worker vs GOMAXPROCS workers, so the bench
+// trajectory tracks the worker-pool speedup over time. The two produce
+// byte-identical experiment results by the engine's seeding contract —
+// only the wall clock may differ.
+func benchEngineWorkload(b *testing.B, workers int) {
+	b.Helper()
+	opt := experiments.Options{Seed: 1, Samples: 60, Workers: workers}
+	var last []float64
+	for i := 0; i < b.N; i++ {
+		last, _ = experiments.Fig06a(opt)
+	}
+	b.ReportMetric(last[4], "m-2Derr@e1d=1.0")
+}
+
+func BenchmarkEngineSerial(b *testing.B)   { benchEngineWorkload(b, 1) }
+func BenchmarkEngineParallel(b *testing.B) { benchEngineWorkload(b, runtime.GOMAXPROCS(0)) }
 
 func BenchmarkFig06a(b *testing.B) {
 	var last []float64

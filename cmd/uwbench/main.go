@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	uwbench [-experiment all|fig06a|fig06b|...|headline] [-samples N] [-seed S] [-quick]
+//	uwbench [-experiment all|fig06a|fig06b|...|headline] [-samples N] [-seed S] [-quick] [-workers W]
+//
+// Monte-Carlo trials fan out across -workers goroutines (default
+// GOMAXPROCS) on the internal/engine trial runner; per-trial seeding makes
+// the output byte-identical for every worker count.
 //
 // Experiment IDs match the figure/table numbering of the paper (see
 // DESIGN.md §4 for the index).
@@ -92,6 +96,7 @@ func main() {
 		samples = flag.Int("samples", 0, "override per-point sample count (0 = defaults)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		quick   = flag.Bool("quick", false, "divide heavy sample counts by 4")
+		workers = flag.Int("workers", 0, "concurrent trial workers (0 = GOMAXPROCS); results are identical for any value")
 	)
 	flag.Parse()
 
@@ -106,7 +111,7 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Seed: *seed, Samples: *samples, Quick: *quick}
+	opt := experiments.Options{Seed: *seed, Samples: *samples, Quick: *quick, Workers: *workers}
 	run := func(id string) {
 		fn, ok := reg[id]
 		if !ok {

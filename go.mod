@@ -1,0 +1,3 @@
+module uwpos
+
+go 1.24

@@ -40,8 +40,10 @@ func xcorrDirect(x, h []float64) []float64 {
 
 func xcorrFFT(x, h []float64) []float64 {
 	m := NextPow2(len(x) + len(h) - 1)
-	fx := make([]complex128, m)
-	fh := make([]complex128, m)
+	fx := GetC128(m)
+	fh := GetC128(m)
+	defer PutC128(fx)
+	defer PutC128(fh)
 	for i, v := range x {
 		fx[i] = complex(v, 0)
 	}
@@ -81,8 +83,9 @@ func NormalizedCrossCorrelate(x, h []float64) []float64 {
 		}
 		return r
 	}
-	// Sliding window energy of x via prefix sums.
-	prefix := make([]float64, len(x)+1)
+	// Sliding window energy of x via prefix sums (pooled scratch).
+	prefix := GetF64(len(x) + 1)
+	defer PutF64(prefix)
 	for i, v := range x {
 		prefix[i+1] = prefix[i] + v*v
 	}
@@ -168,8 +171,10 @@ func Convolve(x, k []float64) []float64 {
 		return nil
 	}
 	m := NextPow2(len(x) + len(k) - 1)
-	fx := make([]complex128, m)
-	fk := make([]complex128, m)
+	fx := GetC128(m)
+	fk := GetC128(m)
+	defer PutC128(fx)
+	defer PutC128(fk)
 	for i, v := range x {
 		fx[i] = complex(v, 0)
 	}

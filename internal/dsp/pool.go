@@ -1,0 +1,91 @@
+package dsp
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Scratch pooling for the hot DSP allocations. The FFT-based correlation
+// and convolution paths burn one or two padded complex buffers per call,
+// and the receiver pipeline calls them thousands of times per simulated
+// round; under the parallel trial engine every worker hammers them at
+// once. Buffers are pooled in power-of-two size classes so a worker
+// steady-states at zero allocations regardless of which transform lengths
+// its scenarios need.
+//
+// Slices handed out are zeroed, because the transforms rely on zero
+// padding beyond the payload. Returning a slice to the pool is always
+// optional — dropping one on an error path just costs a future
+// allocation.
+
+const maxPooledClass = 26 // cap pooled buffers at 2^26 elements (1 GiB of complex128)
+
+var (
+	c128Pools [maxPooledClass + 1]sync.Pool
+	f64Pools  [maxPooledClass + 1]sync.Pool
+)
+
+// sizeClass returns the pool index for a capacity request: the exponent of
+// the next power of two ≥ n. Requests beyond the pooled range return -1.
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	c := bits.Len(uint(n - 1))
+	if c > maxPooledClass {
+		return -1
+	}
+	return c
+}
+
+// GetC128 returns a zeroed []complex128 of length n backed by the pool.
+func GetC128(n int) []complex128 {
+	c := sizeClass(n)
+	if c < 0 {
+		return make([]complex128, n)
+	}
+	if v := c128Pools[c].Get(); v != nil {
+		s := (*v.(*[]complex128))[:n]
+		for i := range s {
+			s[i] = 0
+		}
+		return s
+	}
+	return make([]complex128, n, 1<<c)
+}
+
+// PutC128 returns a buffer obtained from GetC128 to the pool.
+func PutC128(s []complex128) {
+	c := sizeClass(cap(s))
+	if c < 0 || cap(s) != 1<<c {
+		return // foreign or oversize buffer: let the GC have it
+	}
+	s = s[:cap(s)]
+	c128Pools[c].Put(&s)
+}
+
+// GetF64 returns a zeroed []float64 of length n backed by the pool.
+func GetF64(n int) []float64 {
+	c := sizeClass(n)
+	if c < 0 {
+		return make([]float64, n)
+	}
+	if v := f64Pools[c].Get(); v != nil {
+		s := (*v.(*[]float64))[:n]
+		for i := range s {
+			s[i] = 0
+		}
+		return s
+	}
+	return make([]float64, n, 1<<c)
+}
+
+// PutF64 returns a buffer obtained from GetF64 to the pool.
+func PutF64(s []float64) {
+	c := sizeClass(cap(s))
+	if c < 0 || cap(s) != 1<<c {
+		return
+	}
+	s = s[:cap(s)]
+	f64Pools[c].Put(&s)
+}

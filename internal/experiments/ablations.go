@@ -7,6 +7,7 @@ import (
 	"uwpos/internal/channel"
 	"uwpos/internal/core"
 	"uwpos/internal/dsp"
+	"uwpos/internal/engine"
 	"uwpos/internal/geom"
 	"uwpos/internal/mds"
 	"uwpos/internal/ranging"
@@ -23,15 +24,21 @@ import (
 // (−13 dB sidelobes that the λ=0.2 direct-path test can mistake for early
 // arrivals).
 func AblationBandWindow(opt Options) (map[string][]float64, *stats.Table) {
-	rng := opt.rng()
 	trials := opt.samples(40)
 	p := sig.DefaultParams()
 	env := channel.Dock()
 	const fs = 44100.0
 	out := map[string][]float64{"hann": nil, "rectangular": nil}
 
-	for t := 0; t < trials; t++ {
-		// One shared channel realization per trial.
+	pre := p.Preamble()
+	det := ranging.NewDetector(p, ranging.DetectorConfig{}) // stateless, shared
+	type trialErrs struct {
+		hann, rect float64
+		okH, okR   bool
+	}
+	res := engine.Map(opt.engine(saltAblBandWindow), trials, func(_ int, rng *rand.Rand) trialErrs {
+		// One shared channel realization per trial; both tapers score it.
+		var te trialErrs
 		sep := 15 + 10*rng.Float64()
 		tx := geom.Vec3{X: 0, Y: 0, Z: 2.5}
 		rx := geom.Vec3{X: sep, Y: 0, Z: 2.5}
@@ -39,11 +46,10 @@ func AblationBandWindow(opt Options) (map[string][]float64, *stats.Table) {
 		stream := make([]float64, 40000)
 		env.AddNoise(stream, fs, rng)
 		const at = 9000
-		channel.Render(stream, p.Preamble(), taps, at, fs)
-		det := ranging.NewDetector(p, ranging.DetectorConfig{})
+		channel.Render(stream, pre, taps, at, fs)
 		dets := det.Detect(stream)
 		if len(dets) != 1 {
-			continue
+			return te
 		}
 		c := env.SoundSpeed(2.5)
 		wantArrival := float64(at) + sep/c*fs
@@ -62,7 +68,21 @@ func AblationBandWindow(opt Options) (map[string][]float64, *stats.Table) {
 				continue
 			}
 			arr := float64(dets[0].CoarseIndex) - float64(ce.GuardTaps) + res.TauTaps
-			out[win.name] = append(out[win.name], math.Abs(arr-wantArrival)/fs*c)
+			e := math.Abs(arr-wantArrival) / fs * c
+			if win.name == "hann" {
+				te.hann, te.okH = e, true
+			} else {
+				te.rect, te.okR = e, true
+			}
+		}
+		return te
+	})
+	for _, te := range res {
+		if te.okH {
+			out["hann"] = append(out["hann"], te.hann)
+		}
+		if te.okR {
+			out["rectangular"] = append(out["rectangular"], te.rect)
 		}
 	}
 	table := &stats.Table{
@@ -83,31 +103,38 @@ func AblationBandWindow(opt Options) (map[string][]float64, *stats.Table) {
 // AblationPrefilter measures the in-band prefilter's effect on detection
 // at marginal SNR.
 func AblationPrefilter(opt Options) (map[string]float64, *stats.Table) {
-	rng := opt.rng()
 	trials := opt.samples(60)
 	p := sig.DefaultParams()
 	pre := p.Preamble()
 	detOn := ranging.NewDetector(p, ranging.DetectorConfig{})
 	detOff := ranging.NewDetector(p, ranging.DetectorConfig{DisablePrefilter: true})
-	rates := map[string]float64{}
-	for _, variant := range []struct {
-		name string
-		det  *ranging.Detector
-	}{{"with prefilter", detOn}, {"without prefilter", detOff}} {
-		hits := 0
-		for t := 0; t < trials; t++ {
-			stream := make([]float64, 40000)
-			for i := range stream {
-				stream[i] = 0.14 * rng.NormFloat64() // ≈−6 dB wideband
-			}
-			for i, v := range pre {
-				stream[12000+i] += 0.25 * v
-			}
-			if len(variant.det.Detect(stream)) > 0 {
-				hits++
-			}
+	// Paired trials: both variants score the same noisy stream.
+	type hit struct{ on, off bool }
+	res := engine.Map(opt.engine(saltAblPrefilter), trials, func(_ int, rng *rand.Rand) hit {
+		stream := make([]float64, 40000)
+		for i := range stream {
+			stream[i] = 0.14 * rng.NormFloat64() // ≈−6 dB wideband
 		}
-		rates[variant.name] = float64(hits) / float64(trials)
+		for i, v := range pre {
+			stream[12000+i] += 0.25 * v
+		}
+		return hit{
+			on:  len(detOn.Detect(stream)) > 0,
+			off: len(detOff.Detect(stream)) > 0,
+		}
+	})
+	var onN, offN int
+	for _, h := range res {
+		if h.on {
+			onN++
+		}
+		if h.off {
+			offN++
+		}
+	}
+	rates := map[string]float64{
+		"with prefilter":    float64(onN) / float64(trials),
+		"without prefilter": float64(offN) / float64(trials),
 	}
 	table := &stats.Table{
 		ID:     "ablation-prefilter",
@@ -125,11 +152,16 @@ func AblationPrefilter(opt Options) (map[string]float64, *stats.Table) {
 // AblationRestarts measures SMACOF restart value on outlier-bearing
 // problems (escaping deceptive local minima).
 func AblationRestarts(opt Options) (map[string][]float64, *stats.Table) {
-	rng := opt.rng()
 	trials := opt.samples(80)
 	out := map[string][]float64{"restarts=0": nil, "restarts=2": nil}
-	for t := 0; t < trials; t++ {
+	type stresses struct {
+		r0, r2 float64
+		ok0    bool
+		ok2    bool
+	}
+	res := engine.Map(opt.engine(saltAblRestarts), trials, func(_ int, rng *rand.Rand) stresses {
 		// Random 6-node geometry with one corrupted link.
+		var st stresses
 		pts := make([]geom.Vec2, 6)
 		for i := range pts {
 			pts[i] = geom.Vec2{X: rng.Float64() * 30, Y: rng.Float64() * 30}
@@ -153,18 +185,34 @@ func AblationRestarts(opt Options) (map[string][]float64, *stats.Table) {
 		}
 		d[a][b] += 6 + 6*rng.Float64()
 		d[b][a] = d[a][b]
+		// Solver restart randomness draws from the trial stream, so the
+		// whole trial replays from its (seed, index) pair.
+		solverSeed := rng.Int63()
 		for _, variant := range []struct {
 			name     string
 			restarts int
 		}{{"restarts=0", -1}, {"restarts=2", 2}} {
 			res, err := mds.Solve(d, w, mds.Options{
 				Restarts: variant.restarts,
-				Rng:      rand.New(rand.NewSource(int64(t))),
+				Rng:      rand.New(rand.NewSource(solverSeed)),
 			})
 			if err != nil {
 				continue
 			}
-			out[variant.name] = append(out[variant.name], res.NormStress)
+			if variant.restarts < 0 {
+				st.r0, st.ok0 = res.NormStress, true
+			} else {
+				st.r2, st.ok2 = res.NormStress, true
+			}
+		}
+		return st
+	})
+	for _, st := range res {
+		if st.ok0 {
+			out["restarts=0"] = append(out["restarts=0"], st.r0)
+		}
+		if st.ok2 {
+			out["restarts=2"] = append(out["restarts=2"], st.r2)
 		}
 	}
 	table := &stats.Table{
@@ -193,12 +241,13 @@ func AblationReportBack(opt Options) (map[string][]float64, *stats.Table) {
 		name     string
 		lossless bool
 	}{{"full comm", false}, {"lossless", true}} {
-		mk := func(seed int64) sim.Config {
-			cfg := testbed(env, seed)
+		mk := func(int, *rand.Rand) sim.Config {
+			cfg := testbed(env, 0)
 			cfg.DisableReportBack = variant.lossless
 			return cfg
 		}
-		rds := collectRounds(mk, rounds, opt.Seed)
+		// Same salt for both variants: paired rounds isolate the comm cost.
+		rds := collectRounds(opt, saltAblReportBack, mk, rounds)
 		for _, rd := range rds {
 			if errs, _, ok := localizeErrors(rd, core.DefaultConfig()); ok {
 				out[variant.name] = append(out[variant.name], errs...)

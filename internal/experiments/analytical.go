@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"uwpos/internal/core"
+	"uwpos/internal/engine"
 	"uwpos/internal/geom"
 	"uwpos/internal/graph"
 	"uwpos/internal/stats"
@@ -24,6 +25,10 @@ type Options struct {
 	// Quick divides heavier experiments further).
 	Samples int
 	Quick   bool
+	// Workers bounds concurrent trials in the engine-backed experiments
+	// (0 = GOMAXPROCS). Results are identical for every worker count —
+	// see internal/engine's seeding contract.
+	Workers int
 }
 
 func (o Options) samples(def int) int {
@@ -37,13 +42,57 @@ func (o Options) samples(def int) int {
 	return n
 }
 
-func (o Options) rng() *rand.Rand {
-	seed := o.Seed
-	if seed == 0 {
-		seed = 1
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
 	}
-	return rand.New(rand.NewSource(seed))
+	return o.Seed
 }
+
+func (o Options) rng() *rand.Rand {
+	return rand.New(rand.NewSource(o.seed()))
+}
+
+// engine builds the trial-engine config for one experiment stage. salt
+// decorrelates stages that share an Options value (the points of a sweep,
+// different experiments in one run), so no two stages replay the same
+// per-trial streams. Every stage takes its salt from the salt* constants
+// below — one disjoint thousand-block per experiment, stage offsets well
+// under 1000 — so uniqueness is checkable at a glance.
+func (o Options) engine(salt int64) engine.Config {
+	return engine.Config{Seed: o.seed() + salt*1_000_003, Workers: o.Workers}
+}
+
+// Per-experiment salt namespaces. Stages within an experiment add small
+// offsets (sweep index, method id, sub-case) to their block; AblationReportBack
+// deliberately reuses one salt across its two variants to pair the rounds.
+const (
+	saltFig06a        = 1000
+	saltFig06b        = 2000
+	saltFig06c        = 3000
+	saltFig06d        = 4000
+	saltFig11a        = 5000
+	saltFig11b        = 6000
+	saltFig12a        = 7000
+	saltFig12b        = 8000
+	saltFig13a        = 9000
+	saltFig14a        = 10000
+	saltFig14b        = 11000
+	saltFig15         = 12000
+	saltFig18         = 13000
+	saltFig19a        = 14000
+	saltFig19b        = 15000
+	saltFourDevices   = 16000
+	saltFig20         = 17000
+	saltRTT           = 18000
+	saltFlipping      = 19000
+	saltAblBandWindow = 20000
+	saltAblPrefilter  = 21000
+	saltAblRestarts   = 22000
+	saltAblReportBack = 23000
+	saltFig13b        = 24000
+	saltFig16         = 25000
+)
 
 // analyticalScenario draws one §2.1.5 Monte-Carlo sample: N devices in a
 // 60×60×10 m volume, leader centered, user 1 at 4–9 m.
@@ -153,13 +202,16 @@ func clamp(v, lo, hi float64) float64 {
 	return v
 }
 
-// meanOverTrials runs trials and averages, skipping failures.
-func meanOverTrials(rng *rand.Rand, n, trials int, e1d, eh, eTheta float64, drops int) float64 {
+// meanOverTrials fans trials across the engine and averages, skipping
+// failures. salt keeps each sweep point on its own per-trial streams.
+func meanOverTrials(opt Options, salt int64, n, trials int, e1d, eh, eTheta float64, drops int) float64 {
+	vals := engine.Map(opt.engine(salt), trials, func(_ int, rng *rand.Rand) float64 {
+		truth := analyticalScenario(rng, n)
+		return analyticalTrial(rng, truth, e1d, eh, eTheta, drops)
+	})
 	var sum float64
 	var ok int
-	for t := 0; t < trials; t++ {
-		truth := analyticalScenario(rng, n)
-		v := analyticalTrial(rng, truth, e1d, eh, eTheta, drops)
+	for _, v := range vals {
 		if !math.IsNaN(v) {
 			sum += v
 			ok++
@@ -174,7 +226,6 @@ func meanOverTrials(rng *rand.Rand, n, trials int, e1d, eh, eTheta float64, drop
 // Fig06a sweeps the 1D ranging error (Fig. 6a): mean 2D error vs ε_1d,
 // N=6, ε_h=0.4 m, ε_θ=0.
 func Fig06a(opt Options) ([]float64, *stats.Table) {
-	rng := opt.rng()
 	trials := opt.samples(200)
 	sweep := []float64{0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0}
 	out := make([]float64, len(sweep))
@@ -185,7 +236,7 @@ func Fig06a(opt Options) ([]float64, *stats.Table) {
 		Header: []string{"ε1d (m)", "mean 2D err (m)"},
 	}
 	for i, e := range sweep {
-		out[i] = meanOverTrials(rng, 6, trials, e, 0.4, 0, 0)
+		out[i] = meanOverTrials(opt, saltFig06a+int64(i), 6, trials, e, 0.4, 0, 0)
 		table.Rows = append(table.Rows, []string{stats.F(e), stats.F(out[i])})
 	}
 	return out, table
@@ -193,7 +244,6 @@ func Fig06a(opt Options) ([]float64, *stats.Table) {
 
 // Fig06b sweeps the number of users (Fig. 6b): ε1d=0.8, εh=0.4.
 func Fig06b(opt Options) ([]float64, *stats.Table) {
-	rng := opt.rng()
 	trials := opt.samples(200)
 	ns := []int{3, 4, 5, 6, 7, 8}
 	out := make([]float64, len(ns))
@@ -204,7 +254,7 @@ func Fig06b(opt Options) ([]float64, *stats.Table) {
 		Header: []string{"N", "mean 2D err (m)"},
 	}
 	for i, n := range ns {
-		out[i] = meanOverTrials(rng, n, trials, 0.8, 0.4, 0, 0)
+		out[i] = meanOverTrials(opt, saltFig06b+int64(i), n, trials, 0.8, 0.4, 0, 0)
 		table.Rows = append(table.Rows, []string{stats.F(float64(n)), stats.F(out[i])})
 	}
 	return out, table
@@ -212,7 +262,6 @@ func Fig06b(opt Options) ([]float64, *stats.Table) {
 
 // Fig06c sweeps the pointing error (Fig. 6c): N=6, ε1d=0.8, εh=0.4.
 func Fig06c(opt Options) ([]float64, *stats.Table) {
-	rng := opt.rng()
 	trials := opt.samples(200)
 	degs := []float64{0, 2.5, 5, 7.5, 10, 12.5, 15, 17.5, 20}
 	out := make([]float64, len(degs))
@@ -223,7 +272,7 @@ func Fig06c(opt Options) ([]float64, *stats.Table) {
 		Header: []string{"εθ (deg)", "mean 2D err (m)"},
 	}
 	for i, dg := range degs {
-		out[i] = meanOverTrials(rng, 6, trials, 0.8, 0.4, geom.Deg2Rad(dg), 0)
+		out[i] = meanOverTrials(opt, saltFig06c+int64(i), 6, trials, 0.8, 0.4, geom.Deg2Rad(dg), 0)
 		table.Rows = append(table.Rows, []string{stats.F(dg), stats.F(out[i])})
 	}
 	return out, table
@@ -231,7 +280,6 @@ func Fig06c(opt Options) ([]float64, *stats.Table) {
 
 // Fig06d sweeps dropped links (Fig. 6d): N=6, ε1d=0.8, εh=0.4, εθ=0.
 func Fig06d(opt Options) ([]float64, *stats.Table) {
-	rng := opt.rng()
 	trials := opt.samples(200)
 	drops := []int{0, 1, 2, 3}
 	out := make([]float64, len(drops))
@@ -242,7 +290,7 @@ func Fig06d(opt Options) ([]float64, *stats.Table) {
 		Header: []string{"dropped links", "mean 2D err (m)"},
 	}
 	for i, k := range drops {
-		out[i] = meanOverTrials(rng, 6, trials, 0.8, 0.4, 0, k)
+		out[i] = meanOverTrials(opt, saltFig06d+int64(i), 6, trials, 0.8, 0.4, 0, k)
 		table.Rows = append(table.Rows, []string{stats.F(float64(k)), stats.F(out[i])})
 	}
 	return out, table

@@ -1,7 +1,11 @@
 package experiments
 
 import (
+	"math"
+	"math/rand"
+
 	"uwpos/internal/depth"
+	"uwpos/internal/engine"
 	"uwpos/internal/orient"
 	"uwpos/internal/power"
 	"uwpos/internal/stats"
@@ -20,23 +24,21 @@ func Fig13b(opt Options) (map[string][]float64, *stats.Table) {
 		Paper:  "watch 0.15±0.11 m, phone 0.42±0.18 m across 0–9 m",
 		Header: []string{"sensor", "mean abs err (m)", "std (m)"},
 	}
+	// One sensor instance per run, as in the paper's single-device study:
+	// the bias draws come from the run rng; per-reading noise then runs on
+	// engine trial streams (Sensor.Read only reads sensor fields, so one
+	// instance is safe across workers).
 	sensors := map[string]*depth.Sensor{
 		"watch": depth.NewWatchGauge(rng),
 		"phone": depth.NewPhoneBarometer(rng),
 	}
-	for _, name := range []string{"watch", "phone"} {
+	const refs = 10 // 0–9 m in 1 m steps
+	for ni, name := range []string{"watch", "phone"} {
 		s := sensors[name]
-		var errs []float64
-		for ref := 0.0; ref <= 9; ref++ {
-			for r := 0; r < reps; r++ {
-				read := s.Read(ref, rng)
-				e := read - ref
-				if e < 0 {
-					e = -e
-				}
-				errs = append(errs, e)
-			}
-		}
+		errs := engine.Map(opt.engine(saltFig13b+int64(ni)), refs*reps, func(t int, rng *rand.Rand) float64 {
+			ref := float64(t / reps)
+			return math.Abs(s.Read(ref, rng) - ref)
+		})
 		out[name] = errs
 		table.Rows = append(table.Rows, []string{name, stats.F(stats.Mean(errs)), stats.F(stats.Std(errs))})
 	}
@@ -46,7 +48,6 @@ func Fig13b(opt Options) (map[string][]float64, *stats.Table) {
 // Fig16 reproduces the human leader-orientation study: two simulated
 // users aiming at 3–9 m, camera-checkerboard measurement chain.
 func Fig16(opt Options) (float64, *stats.Table) {
-	rng := opt.rng()
 	trials := opt.samples(200)
 	cam := orient.DefaultCamera()
 	table := &stats.Table{
@@ -56,17 +57,26 @@ func Fig16(opt Options) (float64, *stats.Table) {
 		Header: []string{"user", "3 m", "5 m", "7 m", "9 m", "mean (deg)"},
 	}
 	dists := []float64{3, 5, 7, 9}
-	var grandSum float64
 	users := []orient.HumanModel{orient.DefaultHuman(), {BaseErrDeg: 4.0, PerMeterDeg: 0.2, ArmTremorDeg: 1.4}}
-	for ui, human := range users {
-		perDist, grand := orient.Study(cam, human, dists, trials, rng)
+	type userStudy struct {
+		perDist []float64
+		grand   float64
+	}
+	// One engine trial per simulated user; the study's internal loop
+	// draws from that user's stream.
+	res := engine.Map(opt.engine(saltFig16), len(users), func(ui int, rng *rand.Rand) userStudy {
+		perDist, grand := orient.Study(cam, users[ui], dists, trials, rng)
+		return userStudy{perDist: perDist, grand: grand}
+	})
+	var grandSum float64
+	for ui, us := range res {
 		row := []string{"user " + stats.F(float64(ui+1))}
-		for _, v := range perDist {
+		for _, v := range us.perDist {
 			row = append(row, stats.F(v))
 		}
-		row = append(row, stats.F(grand))
+		row = append(row, stats.F(us.grand))
 		table.Rows = append(table.Rows, row)
-		grandSum += grand
+		grandSum += us.grand
 	}
 	return grandSum / float64(len(users)), table
 }

@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"math"
+	"math/rand"
 
 	"uwpos/internal/channel"
 	"uwpos/internal/core"
 	"uwpos/internal/device"
+	"uwpos/internal/engine"
 	"uwpos/internal/geom"
 	"uwpos/internal/graph"
 	"uwpos/internal/protocol"
@@ -37,25 +39,47 @@ type roundData struct {
 	round   *sim.RoundResult
 	bearing float64
 	cfg     sim.Config
+	trial   int // trial index within the collect, for derived randomness
 }
 
-// collectRounds runs full acoustic rounds on the given scenario factory.
-func collectRounds(mk func(seed int64) sim.Config, rounds int, seed int64) []roundData {
-	var out []roundData
-	for k := 0; k < rounds; k++ {
-		cfg := mk(seed + int64(k)*104729)
+// collectRounds fans full acoustic rounds across the trial engine. mk
+// builds trial t's scenario, drawing any per-round variation from rng;
+// the round itself then consumes the same rng inside the network, per the
+// engine's seeding contract. Failed rounds are dropped; survivors keep
+// trial order.
+func collectRounds(opt Options, salt int64, mk func(trial int, rng *rand.Rand) sim.Config, rounds int) []roundData {
+	type slot struct {
+		rd roundData
+		ok bool
+	}
+	slots := engine.Map(opt.engine(salt), rounds, func(t int, rng *rand.Rand) slot {
+		cfg := mk(t, rng)
+		if cfg.Rng == nil {
+			cfg.Rng = rng
+		}
 		nw, err := sim.NewNetwork(cfg)
 		if err != nil {
-			continue
+			return slot{}
 		}
 		round, err := nw.RunRound()
 		if err != nil {
-			continue
+			return slot{}
 		}
 		_, bearing := sim.LeaderOrientation(cfg.Devices[0].Pos, cfg.Devices[1].Pos, 0)
-		out = append(out, roundData{nw: nw, round: round, bearing: bearing, cfg: cfg})
+		return slot{rd: roundData{nw: nw, round: round, bearing: bearing, cfg: cfg, trial: t}, ok: true}
+	})
+	var out []roundData
+	for _, s := range slots {
+		if s.ok {
+			out = append(out, s.rd)
+		}
 	}
 	return out
+}
+
+// staticTestbed adapts a fixed scenario to collectRounds' factory shape.
+func staticTestbed(env *channel.Environment) func(int, *rand.Rand) sim.Config {
+	return func(int, *rand.Rand) sim.Config { return testbed(env, 0) }
 }
 
 // localizeErrors scores one round, returning per-device 2D errors
@@ -84,9 +108,9 @@ func Fig18(opt Options) (map[string][]float64, *stats.Table) {
 		Paper:  "dock median 0.9 m (95th 3.2 m); boathouse median 1.6 m (95th 4.9 m); error grows with distance",
 		Header: []string{"site", "bucket", "median (m)", "95th (m)", "n"},
 	}
-	for _, site := range []string{"dock", "boathouse"} {
+	for si, site := range []string{"dock", "boathouse"} {
 		env, _ := channel.ByName(site)
-		rds := collectRounds(func(seed int64) sim.Config { return testbed(env, seed) }, rounds, opt.Seed)
+		rds := collectRounds(opt, saltFig18+int64(si), staticTestbed(env), rounds)
 		buckets := map[string][]float64{"0-10m": nil, "10-15m": nil, "15-25m": nil, "all": nil}
 		for _, rd := range rds {
 			errs, dist, ok := localizeErrors(rd, core.DefaultConfig())
@@ -123,15 +147,15 @@ func Fig18(opt Options) (map[string][]float64, *stats.Table) {
 func Fig19a(opt Options) (map[string][]float64, *stats.Table) {
 	rounds := opt.samples(12)
 	env := channel.Dock()
-	mk := func(seed int64) sim.Config {
-		cfg := testbed(env, seed)
+	mk := func(int, *rand.Rand) sim.Config {
+		cfg := testbed(env, 0)
 		// Same depth, fully occluded direct path (paper setup).
 		cfg.Devices[0].Pos.Z = 1.5
 		cfg.Devices[1].Pos.Z = 1.5
 		cfg.Faults = []sim.LinkFault{{A: 0, B: 1, DirectAtt: 0.02}}
 		return cfg
 	}
-	rds := collectRounds(mk, rounds, opt.Seed)
+	rds := collectRounds(opt, saltFig19a, mk, rounds)
 	out := map[string][]float64{"with": nil, "without": nil}
 	noOutlier := core.DefaultConfig()
 	noOutlier.MaxOutliers = 0
@@ -166,10 +190,13 @@ func Fig19a(opt Options) (map[string][]float64, *stats.Table) {
 func Fig19b(opt Options) (map[string][]float64, *stats.Table) {
 	rounds := opt.samples(12)
 	env := channel.Dock()
-	rng := opt.rng()
-	rds := collectRounds(func(seed int64) sim.Config { return testbed(env, seed) }, rounds, opt.Seed)
+	rds := collectRounds(opt, saltFig19b, staticTestbed(env), rounds)
 	out := map[string][]float64{"full": nil, "link-drop": nil, "node-drop": nil}
 	for _, rd := range rds {
+		// Post-processing randomness (which link/node to drop) runs on a
+		// stream derived from the round's trial index so it is stable
+		// under any worker count.
+		rng := engine.Rand(opt.seed()^0x19b, rd.trial)
 		if errs, _, ok := localizeErrors(rd, core.DefaultConfig()); ok {
 			out["full"] = append(out["full"], errs...)
 		}
@@ -282,10 +309,10 @@ func relocalizeWithoutNode(rd roundData, drop int) ([]float64, bool) {
 func FourDevices(opt Options) (map[string][]float64, *stats.Table) {
 	rounds := opt.samples(10)
 	env := channel.Dock()
-	rng := opt.rng()
-	rds := collectRounds(func(seed int64) sim.Config { return testbed(env, seed) }, rounds, opt.Seed)
+	rds := collectRounds(opt, saltFourDevices, staticTestbed(env), rounds)
 	out := map[string][]float64{"5-device": nil, "4-device": nil}
 	for _, rd := range rds {
+		rng := engine.Rand(opt.seed()^0x4de, rd.trial)
 		if errs, _, ok := localizeErrors(rd, core.DefaultConfig()); ok {
 			out["5-device"] = append(out["5-device"], errs...)
 		}
@@ -320,14 +347,14 @@ func Fig20(opt Options) (map[string][]float64, *stats.Table) {
 		Header: []string{"moving", "user", "median (m)", "95th (m)"},
 	}
 	for _, mover := range []int{1, 2} {
-		mk := func(seed int64) sim.Config {
-			cfg := testbed(env, seed)
-			speed := 0.15 + 0.35*float64(seed%7919)/7919 // 15–50 cm/s
+		mk := func(_ int, rng *rand.Rand) sim.Config {
+			cfg := testbed(env, 0)
+			speed := 0.15 + 0.35*rng.Float64() // 15–50 cm/s
 			start := cfg.Devices[mover].Pos
 			cfg.Devices[mover].Traj = sim.Oscillate(start, geom.Vec3{X: 1, Y: 0.4}, 1.5, speed)
 			return cfg
 		}
-		rds := collectRounds(mk, rounds, opt.Seed+int64(mover)*811)
+		rds := collectRounds(opt, saltFig20+int64(mover), mk, rounds)
 		for _, rd := range rds {
 			loc, err := rd.nw.LocalizeRound(rd.round, rd.bearing, core.DefaultConfig())
 			if err != nil {
@@ -369,19 +396,25 @@ func RTT(opt Options) (map[int]float64, *stats.Table) {
 		analytic := protocol.DefaultParams(n).RoundTime(true)
 		measured := math.NaN()
 		if n <= 5 { // keep full-stack effort bounded; schedule is exact anyway
-			var vals []float64
-			for k := 0; k < measuredRounds; k++ {
-				cfg := testbed(env, opt.Seed+int64(n*1000+k))
+			lat := engine.Map(opt.engine(saltRTT+int64(n)), measuredRounds, func(_ int, rng *rand.Rand) float64 {
+				cfg := testbed(env, 0)
+				cfg.Rng = rng
 				cfg.Devices = cfg.Devices[:n]
 				nw, err := sim.NewNetwork(cfg)
 				if err != nil {
-					continue
+					return math.NaN()
 				}
 				round, err := nw.RunRound()
 				if err != nil {
-					continue
+					return math.NaN()
 				}
-				vals = append(vals, round.Latency)
+				return round.Latency
+			})
+			var vals []float64
+			for _, v := range lat {
+				if !math.IsNaN(v) {
+					vals = append(vals, v)
+				}
 			}
 			measured = stats.Mean(vals)
 		}
@@ -399,7 +432,7 @@ func RTT(opt Options) (map[int]float64, *stats.Table) {
 func Flipping(opt Options) (single, triple float64, table *stats.Table) {
 	rounds := opt.samples(15)
 	env := channel.Dock()
-	rds := collectRounds(func(seed int64) sim.Config { return testbed(env, seed) }, rounds, opt.Seed)
+	rds := collectRounds(opt, saltFlipping, staticTestbed(env), rounds)
 	var singleOK, singleTotal, tripleOK, tripleTotal int
 	for _, rd := range rds {
 		truth := rd.nw.TruePositions(0.70)
@@ -466,8 +499,8 @@ func ratio(a, b int) float64 {
 // Headline aggregates the paper's top-line numbers from lighter runs of
 // the underlying experiments.
 func Headline(opt Options) *stats.Table {
-	r1d, _ := Fig11a(Options{Seed: opt.Seed, Samples: opt.samples(12)})
-	net, _ := Fig18(Options{Seed: opt.Seed + 1, Samples: opt.samples(6)})
+	r1d, _ := Fig11a(Options{Seed: opt.Seed, Samples: opt.samples(12), Workers: opt.Workers})
+	net, _ := Fig18(Options{Seed: opt.Seed + 1, Samples: opt.samples(6), Workers: opt.Workers})
 	table := &stats.Table{
 		ID:     "headline",
 		Title:  "headline results vs paper (§1 key findings)",

@@ -6,6 +6,7 @@ import (
 
 	"uwpos/internal/channel"
 	"uwpos/internal/device"
+	"uwpos/internal/engine"
 	"uwpos/internal/geom"
 	"uwpos/internal/ranging"
 	"uwpos/internal/sig"
@@ -13,38 +14,69 @@ import (
 	"uwpos/internal/stats"
 )
 
-// rangeTrials runs n two-way exchanges of the given method in a fresh
-// two-device scenario per trial, returning absolute errors (undetected
-// exchanges are skipped and counted).
-func rangeTrials(env *channel.Environment, method sim.RangingMethod, sepM, depthA, depthB float64, n int, seed int64) (errs []float64, missed int) {
-	return rangeTrialsOccluded(env, method, sepM, depthA, depthB, n, seed, 0)
+// rangeOnce builds the network and runs one exchange, folding setup errors
+// into an undetected result.
+func rangeOnce(cfg sim.Config, method sim.RangingMethod) sim.RangeTrialResult {
+	nw, err := sim.NewNetwork(cfg)
+	if err != nil {
+		return sim.RangeTrialResult{}
+	}
+	res, err := nw.RangeOnce(method)
+	if err != nil {
+		return sim.RangeTrialResult{}
+	}
+	return res
+}
+
+// detectedErrors extracts absolute errors from the detected exchanges.
+func detectedErrors(rs []sim.RangeTrialResult) []float64 {
+	var errs []float64
+	for _, r := range rs {
+		if r.Detected {
+			errs = append(errs, r.AbsError())
+		}
+	}
+	return errs
+}
+
+// rangeTrials fans n two-way exchanges of the given method across the
+// trial engine, each in a fresh two-device scenario driven by its own
+// per-trial RNG, returning absolute errors (undetected exchanges are
+// skipped and counted).
+func rangeTrials(opt Options, salt int64, env *channel.Environment, method sim.RangingMethod, sepM, depthA, depthB float64, n int) (errs []float64, missed int) {
+	return rangeTrialsOccluded(opt, salt, env, method, sepM, depthA, depthB, n, 0)
 }
 
 // rangeTrialsOccluded additionally attenuates the direct ray (directAtt >
 // 0 models a blocked line of sight, §3.2's occlusion study).
-func rangeTrialsOccluded(env *channel.Environment, method sim.RangingMethod, sepM, depthA, depthB float64, n int, seed int64, directAtt float64) (errs []float64, missed int) {
-	rig := rand.New(rand.NewSource(seed ^ 0x5bd1e995))
-	for t := 0; t < n; t++ {
+func rangeTrialsOccluded(opt Options, salt int64, env *channel.Environment, method sim.RangingMethod, sepM, depthA, depthB float64, n int, directAtt float64) (errs []float64, missed int) {
+	type trial struct {
+		err float64
+		ok  bool
+	}
+	out := engine.Map(opt.engine(salt), n, func(_ int, rng *rand.Rand) trial {
 		// Per-trial rig sway: the paper's pole/rope mounts drift by
 		// decimetres between submersions.
-		sep := sepM + 0.15*rig.NormFloat64()
-		dA := clamp(depthA+0.15*rig.NormFloat64(), 0.4, env.BottomDepthM-0.3)
-		dB := clamp(depthB+0.15*rig.NormFloat64(), 0.4, env.BottomDepthM-0.3)
-		cfg := sim.TwoDeviceConfig(env, sep, dA, dB, seed+int64(t)*7919)
+		sep := sepM + 0.15*rng.NormFloat64()
+		dA := clamp(depthA+0.15*rng.NormFloat64(), 0.4, env.BottomDepthM-0.3)
+		dB := clamp(depthB+0.15*rng.NormFloat64(), 0.4, env.BottomDepthM-0.3)
+		cfg := sim.TwoDeviceConfig(env, sep, dA, dB, 0)
+		cfg.Rng = rng
 		if directAtt > 0 {
 			cfg.Faults = []sim.LinkFault{{A: 0, B: 1, DirectAtt: directAtt}}
 		}
-		nw, err := sim.NewNetwork(cfg)
-		if err != nil {
-			missed++
-			continue
+		res := rangeOnce(cfg, method)
+		if !res.Detected {
+			return trial{}
 		}
-		res, err := nw.RangeOnce(method)
-		if err != nil || !res.Detected {
+		return trial{err: res.AbsError(), ok: true}
+	})
+	for _, t := range out {
+		if t.ok {
+			errs = append(errs, t.err)
+		} else {
 			missed++
-			continue
 		}
-		errs = append(errs, res.AbsError())
 	}
 	return errs, missed
 }
@@ -61,7 +93,7 @@ func Fig11a(opt Options) (map[float64][]float64, *stats.Table) {
 		Header: []string{"sep (m)", "median (m)", "95th (m)", "missed"},
 	}
 	for i, sep := range []float64{10, 20, 35, 45} {
-		errs, missed := rangeTrials(channel.Dock(), sim.MethodDualMic, sep, 2.5, 2.5, trials, opt.Seed+int64(i)*101)
+		errs, missed := rangeTrials(opt, saltFig11a+int64(i), channel.Dock(), sim.MethodDualMic, sep, 2.5, 2.5, trials)
 		out[sep] = errs
 		table.Rows = append(table.Rows, []string{
 			stats.F(sep), stats.F(stats.Median(errs)), stats.F(stats.Percentile(errs, 95)),
@@ -86,7 +118,7 @@ func Fig11b(opt Options) (map[string][]float64, *stats.Table) {
 	for i, sep := range []float64{10, 20, 35, 45} {
 		row := []string{stats.F(sep)}
 		for _, m := range methods {
-			errs, _ := rangeTrials(channel.Dock(), m, sep, 2.5, 2.5, trials, opt.Seed+int64(i)*211+int64(m))
+			errs, _ := rangeTrials(opt, saltFig11b+int64(i)*10+int64(m), channel.Dock(), m, sep, 2.5, 2.5, trials)
 			out[m.String()] = append(out[m.String()], errs...)
 			row = append(row, stats.F(stats.Percentile(errs, 95)))
 		}
@@ -106,19 +138,19 @@ type DetectionCounts struct {
 // the FMCW window-power detector across thresholds, under boathouse
 // impulsive noise, at a ~20 m SNR operating point.
 func Fig12a(opt Options) (ours DetectionCounts, fmcw []DetectionCounts, table *stats.Table) {
-	rng := opt.rng()
 	trials := opt.samples(60)
 	p := sig.DefaultParams()
 	env := channel.Boathouse()
 	const fs = 44100.0
 	const dist = 20.0
+	thresholds := []float64{3, 6, 9, 12, 15, 18, 21, 24}
 
 	pre := p.Preamble()
 	chirp := sig.LinearChirp(p.BandLowHz, p.BandHighHz, p.PreambleLen(), fs)
 	tx := geom.Vec3{X: 0, Y: 0, Z: 1}
 	rx := geom.Vec3{X: dist, Y: 0, Z: 1}
 
-	makeStream := func(wave []float64, present bool) []float64 {
+	makeStream := func(rng *rand.Rand, wave []float64, present bool) []float64 {
 		stream := make([]float64, 60000)
 		env.AddNoise(stream, fs, rng)
 		if present {
@@ -128,14 +160,46 @@ func Fig12a(opt Options) (ours DetectionCounts, fmcw []DetectionCounts, table *s
 		return stream
 	}
 
+	// Detectors are stateless after construction and shared across the
+	// worker pool. Each trial draws its own streams; all FMCW thresholds
+	// score the same pair of streams (a paired comparison, which is what
+	// the threshold sweep wants anyway).
 	det := ranging.NewDetector(p, ranging.DetectorConfig{})
+	type trialCounts struct {
+		oursFP, oursFN bool
+		fp, fn         []bool
+	}
+	counts := engine.Map(opt.engine(saltFig12a), trials, func(_ int, rng *rand.Rand) trialCounts {
+		tc := trialCounts{fp: make([]bool, len(thresholds)), fn: make([]bool, len(thresholds))}
+		tc.oursFP = len(det.Detect(makeStream(rng, pre, false))) > 0
+		tc.oursFN = len(det.Detect(makeStream(rng, pre, true))) == 0
+		absent := makeStream(rng, chirp, false)
+		present := makeStream(rng, chirp, true)
+		winLen := int(0.01 * fs)
+		for i, th := range thresholds {
+			wd := ranging.WindowPowerDetector{WindowLen: winLen, ThresholdDB: th}
+			tc.fp[i] = len(wd.Detect(absent)) > 0
+			tc.fn[i] = len(wd.Detect(present)) == 0
+		}
+		return tc
+	})
 	var oursFP, oursFN int
-	for t := 0; t < trials; t++ {
-		if len(det.Detect(makeStream(pre, false))) > 0 {
+	fpN := make([]int, len(thresholds))
+	fnN := make([]int, len(thresholds))
+	for _, tc := range counts {
+		if tc.oursFP {
 			oursFP++
 		}
-		if len(det.Detect(makeStream(pre, true))) == 0 {
+		if tc.oursFN {
 			oursFN++
+		}
+		for i := range thresholds {
+			if tc.fp[i] {
+				fpN[i]++
+			}
+			if tc.fn[i] {
+				fnN[i]++
+			}
 		}
 	}
 	ours = DetectionCounts{
@@ -151,22 +215,11 @@ func Fig12a(opt Options) (ours DetectionCounts, fmcw []DetectionCounts, table *s
 	}
 	table.Rows = append(table.Rows, []string{"ours (PN autocorr 0.35)", "-", stats.F3(ours.FPRatio), stats.F3(ours.FNRatio)})
 
-	winLen := int(0.01 * fs)
-	for _, th := range []float64{3, 6, 9, 12, 15, 18, 21, 24} {
-		wd := ranging.WindowPowerDetector{WindowLen: winLen, ThresholdDB: th}
-		var fp, fn int
-		for t := 0; t < trials; t++ {
-			if len(wd.Detect(makeStream(chirp, false))) > 0 {
-				fp++
-			}
-			if len(wd.Detect(makeStream(chirp, true))) == 0 {
-				fn++
-			}
-		}
+	for i, th := range thresholds {
 		c := DetectionCounts{
 			ThresholdDB: th,
-			FPRatio:     float64(fp) / float64(trials),
-			FNRatio:     float64(fn) / float64(trials),
+			FPRatio:     float64(fpN[i]) / float64(trials),
+			FNRatio:     float64(fnN[i]) / float64(trials),
 		}
 		fmcw = append(fmcw, c)
 		table.Rows = append(table.Rows, []string{"fmcw window-power", stats.F(th), stats.F3(c.FPRatio), stats.F3(c.FNRatio)})
@@ -189,7 +242,7 @@ func Fig12b(opt Options) (map[string]map[float64][]float64, *stats.Table) {
 	for di, dist := range []float64{10, 20, 28} {
 		row := []string{stats.F(dist)}
 		for _, m := range methods {
-			errs, missed := rangeTrials(channel.Boathouse(), m, dist, 1.0, 1.0, trials, opt.Seed+int64(di)*307+int64(m)*13)
+			errs, missed := rangeTrials(opt, saltFig12b+int64(di)*10+int64(m), channel.Boathouse(), m, dist, 1.0, 1.0, trials)
 			if out[m.String()] == nil {
 				out[m.String()] = make(map[float64][]float64)
 			}
@@ -208,7 +261,7 @@ func Fig12b(opt Options) (map[string]map[float64][]float64, *stats.Table) {
 	// the mechanism behind the paper's gap.
 	row := []string{"20 (occl)"}
 	for _, m := range methods {
-		errs, missed := rangeTrialsOccluded(channel.Boathouse(), m, 20, 1.0, 1.0, trials, opt.Seed+7001+int64(m)*13, 0.25)
+		errs, missed := rangeTrialsOccluded(opt, saltFig12b+500+int64(m), channel.Boathouse(), m, 20, 1.0, 1.0, trials, 0.25)
 		key := m.String() + "/occluded"
 		if out[key] == nil {
 			out[key] = make(map[float64][]float64)
@@ -236,7 +289,7 @@ func Fig13a(opt Options) (map[float64][]float64, *stats.Table) {
 		Header: []string{"depth (m)", "median (m)", "95th (m)"},
 	}
 	for i, d := range []float64{2, 5, 8} {
-		errs, _ := rangeTrials(channel.Dock(), sim.MethodDualMic, 18, d, d, trials, opt.Seed+int64(i)*401)
+		errs, _ := rangeTrials(opt, saltFig13a+int64(i), channel.Dock(), sim.MethodDualMic, 18, d, d, trials)
 		out[d] = errs
 		table.Rows = append(table.Rows, []string{stats.F(d), stats.F(stats.Median(errs)), stats.F(stats.Percentile(errs, 95))})
 	}
@@ -265,9 +318,9 @@ func Fig14a(opt Options) (map[string][]float64, *stats.Table) {
 		Header: []string{"orientation", "median (m)", "95th (m)"},
 	}
 	for ci, c := range cases {
-		var errs []float64
-		for t := 0; t < trials; t++ {
-			cfg := sim.TwoDeviceConfig(channel.Dock(), 20, 1.2, 2.5, opt.Seed+int64(ci)*503+int64(t)*17)
+		errs := detectedErrors(engine.Map(opt.engine(saltFig14a+int64(ci)), trials, func(_ int, rng *rand.Rand) sim.RangeTrialResult {
+			cfg := sim.TwoDeviceConfig(channel.Dock(), 20, 1.2, 2.5, 0)
+			cfg.Rng = rng
 			cfg.Devices[1].Orient = device.Orientation{
 				AzimuthRad: geom.Deg2Rad(c.azimuth) + math.Pi, // 0 = facing the peer
 				PolarRad:   geom.Deg2Rad(c.polar),
@@ -276,16 +329,8 @@ func Fig14a(opt Options) (map[string][]float64, *stats.Table) {
 				// Facing up also means held near the surface.
 				cfg.Devices[1].Pos.Z = 0.7
 			}
-			nw, err := sim.NewNetwork(cfg)
-			if err != nil {
-				continue
-			}
-			res, err := nw.RangeOnce(sim.MethodDualMic)
-			if err != nil || !res.Detected {
-				continue
-			}
-			errs = append(errs, res.AbsError())
-		}
+			return rangeOnce(cfg, sim.MethodDualMic)
+		}))
 		out[c.name] = errs
 		table.Rows = append(table.Rows, []string{c.name, stats.F(stats.Median(errs)), stats.F(stats.Percentile(errs, 95))})
 	}
@@ -308,21 +353,13 @@ func Fig14b(opt Options) (map[string][]float64, *stats.Table) {
 		Header: []string{"pair", "median (m)", "95th (m)"},
 	}
 	for pi, pair := range pairs {
-		var errs []float64
-		for t := 0; t < trials; t++ {
-			cfg := sim.TwoDeviceConfig(channel.Dock(), 20, 2.5, 2.5, opt.Seed+int64(pi)*601+int64(t)*23)
+		errs := detectedErrors(engine.Map(opt.engine(saltFig14b+int64(pi)), trials, func(_ int, rng *rand.Rand) sim.RangeTrialResult {
+			cfg := sim.TwoDeviceConfig(channel.Dock(), 20, 2.5, 2.5, 0)
+			cfg.Rng = rng
 			cfg.Devices[0].Model = models[pair[0]]()
 			cfg.Devices[1].Model = models[pair[1]]()
-			nw, err := sim.NewNetwork(cfg)
-			if err != nil {
-				continue
-			}
-			res, err := nw.RangeOnce(sim.MethodDualMic)
-			if err != nil || !res.Detected {
-				continue
-			}
-			errs = append(errs, res.AbsError())
-		}
+			return rangeOnce(cfg, sim.MethodDualMic)
+		}))
 		name := pair[0] + "+" + pair[1]
 		out[name] = errs
 		table.Rows = append(table.Rows, []string{name, stats.F(stats.Median(errs)), stats.F(stats.Percentile(errs, 95))})
@@ -349,9 +386,11 @@ func Fig15(opt Options) (map[float64][]Fig15Point, *stats.Table) {
 		Header: []string{"speed (cm/s)", "median err (m)", "95th err (m)", "pings"},
 	}
 	for si, speed := range []float64{0.32, 0.56} {
-		var pts []Fig15Point
-		var errs []float64
-		for k := 0; k < pings; k++ {
+		type ping struct {
+			pt Fig15Point
+			ok bool
+		}
+		res := engine.Map(opt.engine(saltFig15+int64(si)), pings, func(k int, rng *rand.Rand) ping {
 			tSec := float64(k) // one ping per second
 			// Back-and-forth between 6 and 18 m with the given speed.
 			span := 12.0
@@ -360,7 +399,8 @@ func Fig15(opt Options) (map[float64][]Fig15Point, *stats.Table) {
 			if phase > span {
 				pos = 6 + 2*span - phase
 			}
-			cfg := sim.TwoDeviceConfig(channel.Dock(), pos, 2.0, 2.0, opt.Seed+int64(si)*701+int64(k)*29)
+			cfg := sim.TwoDeviceConfig(channel.Dock(), pos, 2.0, 2.0, 0)
+			cfg.Rng = rng
 			// The device keeps moving during the exchange itself.
 			dir := 1.0
 			if phase > span {
@@ -368,16 +408,19 @@ func Fig15(opt Options) (map[float64][]Fig15Point, *stats.Table) {
 			}
 			start := cfg.Devices[1].Pos
 			cfg.Devices[1].Traj = sim.Linear(start, geom.Vec3{X: dir * speed})
-			nw, err := sim.NewNetwork(cfg)
-			if err != nil {
-				continue
+			r := rangeOnce(cfg, sim.MethodDualMic)
+			if !r.Detected {
+				return ping{}
 			}
-			res, err := nw.RangeOnce(sim.MethodDualMic)
-			if err != nil || !res.Detected {
-				continue
+			return ping{pt: Fig15Point{TimeSec: tSec, TrueM: r.TrueM, EstimatedM: r.EstimatedM}, ok: true}
+		})
+		var pts []Fig15Point
+		var errs []float64
+		for _, p := range res {
+			if p.ok {
+				pts = append(pts, p.pt)
+				errs = append(errs, math.Abs(p.pt.EstimatedM-p.pt.TrueM))
 			}
-			pts = append(pts, Fig15Point{TimeSec: tSec, TrueM: res.TrueM, EstimatedM: res.EstimatedM})
-			errs = append(errs, res.AbsError())
 		}
 		out[speed] = pts
 		table.Rows = append(table.Rows, []string{

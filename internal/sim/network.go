@@ -20,6 +20,7 @@ import (
 	"uwpos/internal/channel"
 	"uwpos/internal/depth"
 	"uwpos/internal/device"
+	"uwpos/internal/dsp"
 	"uwpos/internal/geom"
 	"uwpos/internal/protocol"
 	"uwpos/internal/ranging"
@@ -86,6 +87,12 @@ type Config struct {
 	Faults []LinkFault
 	// Seed drives all randomness in the scenario.
 	Seed int64
+	// Rng, when non-nil, overrides Seed as the scenario's randomness
+	// source. The parallel trial engine threads a per-trial RNG through
+	// here (see internal/engine's seeding contract); a Network never
+	// touches any other random state, so trials sharing nothing but
+	// read-only config can run concurrently.
+	Rng *rand.Rand
 	// SoundSpeedBias (m/s) offsets the receiver's assumed sound speed
 	// from the true one (temperature misconfiguration studies).
 	SoundSpeedBias float64
@@ -105,7 +112,8 @@ type Network struct {
 	proto   protocol.Params
 	rng     *rand.Rand
 	devices []*simDevice
-	idLen   int // samples of the MFSK ID section
+	idLen   int       // samples of the MFSK ID section
+	pre     []float64 // cached preamble waveform (read-only)
 	faults  map[[2]int]LinkFault
 	// sensorDepths holds device-side depth readings for the round (what
 	// each device would report; the leader only sees them via comms).
@@ -163,13 +171,18 @@ func NewNetwork(cfg Config) (*Network, error) {
 	}
 	params := sig.DefaultParams()
 	proto := protocol.DefaultParams(n)
+	rng := cfg.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
 	nw := &Network{
 		cfg:    cfg,
 		env:    cfg.Env,
 		params: params,
 		proto:  proto,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		rng:    rng,
 		idLen:  int(0.055 * params.SampleRate), // preamble 223 ms + ID 55 ms = T_packet
+		pre:    params.Preamble(),
 		faults: make(map[[2]int]LinkFault),
 	}
 	for _, f := range cfg.Faults {
@@ -226,18 +239,24 @@ func (nw *Network) SoundSpeedAssumed() float64 {
 // j") that tells everyone which clock the sender's slot was derived from;
 // it also lets the leader compute D(0,i) for leader-synced devices purely
 // from slot arithmetic, without waiting for the report phase.
+// The buffer comes from the shared dsp scratch pool; callers release it
+// with releaseWave once it has been written to the speaker stream and
+// rendered through the channel (both copy).
 func (nw *Network) messageWave(id, syncID int) []float64 {
-	pre := nw.params.Preamble()
+	pre := nw.pre
 	mfsk := sig.NewMFSK(nw.N(), nw.params.SampleRate)
 	half := nw.idLen / 2
 	idw := mfsk.EncodeID(id, half)
 	sw := mfsk.EncodeID(syncID, nw.idLen-half)
-	out := make([]float64, 0, len(pre)+nw.idLen)
-	out = append(out, pre...)
-	out = append(out, idw...)
-	out = append(out, sw...)
+	out := dsp.GetF64(len(pre) + nw.idLen)
+	copy(out, pre)
+	copy(out[len(pre):], idw)
+	copy(out[len(pre)+half:], sw)
 	return out
 }
+
+// releaseWave hands a messageWave buffer back to the scratch pool.
+func releaseWave(w []float64) { dsp.PutF64(w) }
 
 // linkGain returns the combined TX/RX scalar gain for a transmission from
 // a to b, folding speaker efficiency, directivity at both ends and the

@@ -127,7 +127,7 @@ func (nw *Network) rangingWave(method RangingMethod) []float64 {
 		p := nw.params
 		return sig.LinearChirp(p.BandLowHz, p.BandHighHz, p.PreambleLen(), p.SampleRate)
 	default:
-		return nw.params.Preamble()
+		return nw.pre // cached, read-only
 	}
 }
 

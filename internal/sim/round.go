@@ -63,6 +63,7 @@ func (nw *Network) RunRound() (*RoundResult, error) {
 	leader.txIndex = queryIdx
 	leader.stack.WriteSpeaker(queryIdx, queryWave)
 	nw.renderTransmission(leader, queryIdx, queryWave, leader.stack.SpeakerIndexToTime(float64(queryIdx)))
+	releaseWave(queryWave)
 
 	// Slot-order scheduling; devices that hear nothing yet retry in a
 	// wrap pass (§2.3's "not all devices are in leader's range").
@@ -241,6 +242,7 @@ func (nw *Network) scheduleReply(d *simDevice) bool {
 	d.txIndex = txIdx
 	d.stack.WriteSpeaker(txIdx, wave)
 	nw.renderTransmission(d, txIdx, wave, d.stack.SpeakerIndexToTime(float64(txIdx)))
+	releaseWave(wave)
 	return true
 }
 
