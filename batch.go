@@ -23,6 +23,29 @@ type BatchOptions struct {
 	// Workers bounds concurrent rounds (0 = GOMAXPROCS). Results are
 	// identical for every worker count.
 	Workers int
+	// OnResult, when non-nil, receives each outcome as soon as its round
+	// completes — in completion order, which is arbitrary under
+	// parallelism (Outcome.Trial identifies the trial). Calls are
+	// serialized on the caller's goroutine, so the callback needs no
+	// locking; it should not block for long, as it stalls result
+	// delivery. The returned slice is unchanged; streaming consumers
+	// (live dashboards, online aggregation over huge batches) read from
+	// the callback and may ignore the slice.
+	OnResult func(BatchOutcome)
+}
+
+// runBatch fans trials across the engine, streaming outcomes to OnResult
+// when set.
+func runBatch(ctx context.Context, cfg engine.Config, n int, opt BatchOptions, fn func(trial int, rng *rand.Rand) BatchOutcome) ([]BatchOutcome, error) {
+	if opt.OnResult == nil {
+		return engine.Run(ctx, cfg, n, fn)
+	}
+	out := make([]BatchOutcome, n)
+	err := engine.Stream(ctx, cfg, n, fn, func(trial int, r BatchOutcome) {
+		out[trial] = r
+		opt.OnResult(r)
+	})
+	return out, err
 }
 
 // LocateN runs n independent rounds of this system's configuration
@@ -37,7 +60,7 @@ type BatchOptions struct {
 // regression sweeps.
 func (s *System) LocateN(ctx context.Context, n int, opt BatchOptions) ([]BatchOutcome, error) {
 	cfg := engine.Config{Seed: s.cfg.Seed, Workers: opt.Workers}
-	return engine.Run(ctx, cfg, n, func(trial int, _ *rand.Rand) BatchOutcome {
+	return runBatch(ctx, cfg, n, opt, func(trial int, _ *rand.Rand) BatchOutcome {
 		trialCfg := s.cfg
 		trialCfg.Seed = engine.TrialSeed(s.cfg.Seed, trial)
 		sys, err := NewSystem(trialCfg)
@@ -59,7 +82,7 @@ func Batch(ctx context.Context, scenarios []SystemConfig, opt BatchOptions) ([]B
 		return nil, fmt.Errorf("uwpos: empty batch")
 	}
 	cfg := engine.Config{Workers: opt.Workers}
-	return engine.Run(ctx, cfg, len(scenarios), func(i int, _ *rand.Rand) BatchOutcome {
+	return runBatch(ctx, cfg, len(scenarios), opt, func(i int, _ *rand.Rand) BatchOutcome {
 		sys, err := NewSystem(scenarios[i])
 		if err != nil {
 			return BatchOutcome{Trial: i, Err: err}

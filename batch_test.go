@@ -98,3 +98,40 @@ func TestBatchEmpty(t *testing.T) {
 		t.Error("empty batch should error")
 	}
 }
+
+// TestLocateNOnResultStreams: the OnResult callback must observe every
+// outcome exactly once, serialized, as rounds complete — and the returned
+// slice must be unchanged by the streaming path.
+func TestLocateNOnResultStreams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full system rounds are expensive")
+	}
+	sys, err := NewSystem(batchConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]int)
+	out, err := sys.LocateN(context.Background(), 3, BatchOptions{
+		Workers: 3,
+		OnResult: func(o BatchOutcome) {
+			seen[o.Trial]++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || len(seen) != 3 {
+		t.Fatalf("returned %d outcomes, callback saw %d trials", len(out), len(seen))
+	}
+	for trial, n := range seen {
+		if n != 1 {
+			t.Errorf("trial %d delivered %d times", trial, n)
+		}
+	}
+	// Streamed and collected results are the same trials.
+	for i, o := range out {
+		if o.Trial != i {
+			t.Errorf("slot %d holds trial %d", i, o.Trial)
+		}
+	}
+}

@@ -4,16 +4,25 @@
 // Usage:
 //
 //	uwbench [-experiment all|fig06a|fig06b|...|headline] [-samples N] [-seed S] [-quick] [-workers W]
+//	        [-progress] [-out bench.json] [-baseline BENCH_baseline.json]
 //
 // Monte-Carlo trials fan out across -workers goroutines (default
 // GOMAXPROCS) on the internal/engine trial runner; per-trial seeding makes
-// the output byte-identical for every worker count.
+// the output byte-identical for every worker count. Trial results stream
+// into online aggregators (internal/stats) as they complete, so result
+// memory stays bounded at any -samples value; -progress taps the same
+// stream for a live trials/sec + running-median line on stderr.
+//
+// -out writes a structured JSON record of every table plus wall-clock
+// timings (the CI benchmark artifact); -baseline compares those timings
+// against a previous -out file and exits non-zero on >25% regressions.
 //
 // Experiment IDs match the figure/table numbering of the paper (see
 // DESIGN.md §4 for the index).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -90,13 +99,175 @@ var order = []string{
 	"headline",
 }
 
+// progressMeter renders the live stderr line from Options.Progress
+// callbacks: streamed result count, results/sec and the running median of
+// the current experiment's headline scalar (a fixed-memory sketch, so the
+// line stays O(1) however many trials stream past).
+type progressMeter struct {
+	id        string
+	start     time.Time
+	count     int64
+	sk        *stats.Sketch
+	lastPrint time.Time
+	lineLen   int // width of the in-place line on screen (0 = clean)
+}
+
+func (p *progressMeter) reset(id string) {
+	p.id = id
+	p.start = time.Now()
+	p.count = 0
+	p.sk = stats.NewSketch()
+	p.lastPrint = time.Time{} // new experiment: print immediately, not after a stale throttle
+}
+
+func (p *progressMeter) observe(v float64) {
+	p.count++
+	p.sk.Add(v)
+	if time.Since(p.lastPrint) < 200*time.Millisecond {
+		return
+	}
+	p.lastPrint = time.Now()
+	rate := float64(p.count) / time.Since(p.start).Seconds()
+	line := fmt.Sprintf("%s: %d results  %.1f/s  running median %.3f",
+		p.id, p.count, rate, p.sk.Quantile(50))
+	// Pad to the previous line's width so a shrinking line leaves no tail.
+	pad := p.lineLen - len(line)
+	if pad < 0 {
+		pad = 0
+	}
+	fmt.Fprintf(os.Stderr, "\r%s%s", line, strings.Repeat(" ", pad))
+	p.lineLen = len(line)
+}
+
+// clear wipes the in-place line so the finished table prints clean.
+func (p *progressMeter) clear() {
+	if p.lineLen > 0 {
+		fmt.Fprintf(os.Stderr, "\r%s\r", strings.Repeat(" ", p.lineLen))
+		p.lineLen = 0
+	}
+}
+
+// benchTable is one experiment's record in the -out JSON file.
+type benchTable struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Paper   string     `json:"paper,omitempty"`
+	Header  []string   `json:"header"`
+	Rows    [][]string `json:"rows"`
+	Notes   string     `json:"notes,omitempty"`
+	Seconds float64    `json:"seconds"`
+	Results int64      `json:"results,omitempty"`
+}
+
+// benchFile is the -out / -baseline schema.
+type benchFile struct {
+	Schema      int          `json:"schema"`
+	Seed        int64        `json:"seed"`
+	Samples     int          `json:"samples"`
+	Quick       bool         `json:"quick"`
+	Workers     int          `json:"workers"`
+	Experiments []benchTable `json:"experiments"`
+}
+
+// Baseline-comparison gates. A run fails only when an experiment is >25%
+// slower than the baseline predicts AND at least a quarter second slower,
+// so sub-second noise on shared CI runners does not flap the gate. The
+// prediction is machine-speed normalized: the baseline was recorded on
+// whatever box last regenerated it, so each experiment's expected time is
+// base × (median cur/base ratio across experiments with ≥50 ms baselines).
+// A uniformly slower runner shifts every ratio equally and trips nothing;
+// a single experiment regressing stands out from the median and fails.
+const (
+	regressionFactor   = 1.25
+	regressionFloorSec = 0.25
+	calibrationFloor   = 0.05 // baselines below this are too noisy to calibrate on
+)
+
+// speedRatio estimates the current machine's speed relative to the
+// baseline machine as the median per-experiment cur/base timing ratio.
+// Falls back to 1 when nothing is measurable.
+func speedRatio(cur benchFile, baseByID map[string]benchTable) float64 {
+	var ratios []float64
+	for _, e := range cur.Experiments {
+		if b, found := baseByID[e.ID]; found && b.Seconds >= calibrationFloor && e.Seconds > 0 {
+			ratios = append(ratios, e.Seconds/b.Seconds)
+		}
+	}
+	if len(ratios) == 0 {
+		return 1
+	}
+	sort.Float64s(ratios)
+	return ratios[len(ratios)/2]
+}
+
+// compareBaseline reports timing regressions of cur vs a previous -out
+// file. It returns false when any experiment regressed, or when an
+// experiment present in the baseline was not run at all (a silently
+// shrunken gate is itself a failure).
+func compareBaseline(cur benchFile, baselinePath string) (bool, error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	var base benchFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return false, fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+	// Timings are only comparable for the same workload: -quick and
+	// -samples change trial counts non-uniformly per experiment, -seed
+	// changes scenario draws, -workers changes parallel wall time. A
+	// mismatch means the baseline needs regenerating, not a comparison.
+	if cur.Quick != base.Quick || cur.Samples != base.Samples ||
+		cur.Seed != base.Seed || cur.Workers != base.Workers {
+		return false, fmt.Errorf(
+			"baseline %s was recorded with quick=%v samples=%d seed=%d workers=%d; this run used quick=%v samples=%d seed=%d workers=%d — regenerate the baseline with matching flags",
+			baselinePath, base.Quick, base.Samples, base.Seed, base.Workers,
+			cur.Quick, cur.Samples, cur.Seed, cur.Workers)
+	}
+	baseByID := make(map[string]benchTable, len(base.Experiments))
+	for _, e := range base.Experiments {
+		baseByID[e.ID] = e
+	}
+	scale := speedRatio(cur, baseByID)
+	ok := true
+	fmt.Printf("== benchmark comparison vs %s (machine speed ratio %.2fx) ==\n", baselinePath, scale)
+	fmt.Printf("%-22s %10s %12s %10s %8s\n", "experiment", "base (s)", "expected (s)", "now (s)", "delta")
+	covered := make(map[string]bool, len(cur.Experiments))
+	for _, e := range cur.Experiments {
+		covered[e.ID] = true
+		b, found := baseByID[e.ID]
+		if !found || b.Seconds <= 0 {
+			fmt.Printf("%-22s %10s %12s %10.2f %8s\n", e.ID, "-", "-", e.Seconds, "new")
+			continue
+		}
+		expected := b.Seconds * scale
+		delta := (e.Seconds - expected) / expected * 100
+		mark := ""
+		if e.Seconds > expected*regressionFactor && e.Seconds-expected > regressionFloorSec {
+			mark = "  REGRESSION"
+			ok = false
+		}
+		fmt.Printf("%-22s %10.2f %12.2f %10.2f %+7.1f%%%s\n", e.ID, b.Seconds, expected, e.Seconds, delta, mark)
+	}
+	for _, b := range base.Experiments {
+		if !covered[b.ID] {
+			fmt.Printf("%-22s %10.2f %12s %10s %8s  MISSING FROM RUN\n", b.ID, b.Seconds, "-", "-", "")
+			ok = false
+		}
+	}
+	return ok, nil
+}
+
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "experiment id (or 'all', 'list')")
-		samples = flag.Int("samples", 0, "override per-point sample count (0 = defaults)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		quick   = flag.Bool("quick", false, "divide heavy sample counts by 4")
-		workers = flag.Int("workers", 0, "concurrent trial workers (0 = GOMAXPROCS); results are identical for any value")
+		exp      = flag.String("experiment", "all", "experiment id (or 'all', 'list')")
+		samples  = flag.Int("samples", 0, "override per-point sample count (0 = defaults)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		quick    = flag.Bool("quick", false, "divide heavy sample counts by 4")
+		workers  = flag.Int("workers", 0, "concurrent trial workers (0 = GOMAXPROCS); results are identical for any value")
+		progress = flag.Bool("progress", false, "live stderr line: streamed results, results/sec, running median")
+		out      = flag.String("out", "", "write tables + timings as JSON to this file (CI artifact)")
+		baseline = flag.String("baseline", "", "compare timings against a previous -out file; exit 1 on >25% regression")
 	)
 	flag.Parse()
 
@@ -112,24 +283,67 @@ func main() {
 	}
 
 	opt := experiments.Options{Seed: *seed, Samples: *samples, Quick: *quick, Workers: *workers}
+	var meter *progressMeter
+	if *progress {
+		meter = &progressMeter{}
+		opt.Progress = meter.observe
+	}
+	record := benchFile{Schema: 1, Seed: *seed, Samples: *samples, Quick: *quick, Workers: *workers}
 	run := func(id string) {
 		fn, ok := reg[id]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -experiment list)\n", id)
 			os.Exit(2)
 		}
+		if meter != nil {
+			meter.reset(id)
+		}
 		start := time.Now()
 		table := fn(opt)
+		secs := time.Since(start).Seconds()
+		var results int64
+		if meter != nil {
+			results = meter.count
+			meter.clear()
+		}
 		fmt.Print(table.Format())
-		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		fmt.Printf("(%s in %.1fs)\n\n", id, secs)
+		record.Experiments = append(record.Experiments, benchTable{
+			ID: table.ID, Title: table.Title, Paper: table.Paper,
+			Header: table.Header, Rows: table.Rows, Notes: table.Notes,
+			Seconds: secs, Results: results,
+		})
 	}
 	if *exp == "all" {
 		for _, id := range order {
 			run(id)
 		}
-		return
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			run(strings.TrimSpace(id))
+		}
 	}
-	for _, id := range strings.Split(*exp, ",") {
-		run(strings.TrimSpace(id))
+
+	if *out != "" {
+		blob, err := json.MarshalIndent(record, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *baseline != "" {
+		ok, err := compareBaseline(record, *baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !ok {
+			fmt.Fprintln(os.Stderr, "benchmark gate failed: regression vs baseline (>25% and >0.25s over speed-normalized expectation) or baseline experiment missing from run")
+			os.Exit(1)
+		}
 	}
 }

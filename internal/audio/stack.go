@@ -17,6 +17,8 @@ package audio
 import (
 	"fmt"
 	"math"
+
+	"uwpos/internal/dsp"
 )
 
 // Config describes one device's audio clocks.
@@ -43,6 +45,13 @@ type Stack struct {
 // NewStack allocates the streams. Mic streams share one converter clock
 // (they are channels of the same ADC) but have distinct spatial positions,
 // which the device layer tracks.
+//
+// Stream buffers come zeroed from the shared internal/dsp scratch pool —
+// they are by far the largest per-trial allocation (seconds of audio ×
+// (1 + NumMics) streams × devices), so under the parallel trial engine a
+// steady-state worker reuses the same slabs round after round. Call
+// Release once the round's receiver processing is done to hand them back;
+// a dropped stack merely costs a future allocation.
 func NewStack(cfg Config) (*Stack, error) {
 	if cfg.SampleRate <= 0 {
 		return nil, fmt.Errorf("audio: sample rate %g must be positive", cfg.SampleRate)
@@ -59,13 +68,28 @@ func NewStack(cfg Config) (*Stack, error) {
 	n := int(cfg.Duration*cfg.SampleRate) + 1
 	s := &Stack{
 		cfg:     cfg,
-		speaker: make([]float64, n),
+		speaker: dsp.GetF64(n),
 		mics:    make([][]float64, cfg.NumMics),
 	}
 	for i := range s.mics {
-		s.mics[i] = make([]float64, n)
+		s.mics[i] = dsp.GetF64(n)
 	}
 	return s, nil
+}
+
+// Release returns the stream buffers to the shared scratch pool. The
+// stack must not be used afterwards (stream accessors return nil and
+// StreamLen reports 0). Safe to call more than once.
+func (s *Stack) Release() {
+	if s.speaker == nil {
+		return
+	}
+	dsp.PutF64(s.speaker)
+	s.speaker = nil
+	for i, m := range s.mics {
+		dsp.PutF64(m)
+		s.mics[i] = nil
+	}
 }
 
 // SampleRate returns the nominal sample rate.

@@ -198,3 +198,68 @@ func TestMicStreamsIndependent(t *testing.T) {
 		t.Error("mic streams must be independent")
 	}
 }
+
+// TestPooledStackReuseNoAliasing simulates consecutive trials on one
+// worker: a released stack's buffers return to the pool and the next
+// stack reuses them, but the new trial must observe fully zeroed streams —
+// no samples bleeding across trials.
+func TestPooledStackReuseNoAliasing(t *testing.T) {
+	for trial := 0; trial < 3; trial++ {
+		s, err := NewStack(defaultCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, stream := range [][]float64{s.Speaker(), s.Mic(0), s.Mic(1)} {
+			for i, v := range stream {
+				if v != 0 {
+					t.Fatalf("trial %d: reused buffer dirty at %d (%g)", trial, i, v)
+				}
+			}
+		}
+		// Leave trial residue everywhere before handing buffers back.
+		for _, stream := range [][]float64{s.Speaker(), s.Mic(0), s.Mic(1)} {
+			for i := range stream {
+				stream[i] = float64(trial + 1)
+			}
+		}
+		s.Release()
+	}
+}
+
+// TestConcurrentStacksShareNothing: two live stacks (concurrent trials on
+// different workers) must never alias buffers even though both draw from
+// the shared pool.
+func TestConcurrentStacksShareNothing(t *testing.T) {
+	a, _ := NewStack(defaultCfg())
+	b, _ := NewStack(defaultCfg())
+	a.Speaker()[7] = 42
+	a.Mic(0)[7] = 43
+	a.Mic(1)[7] = 44
+	if b.Speaker()[7] != 0 || b.Mic(0)[7] != 0 || b.Mic(1)[7] != 0 {
+		t.Error("live stacks alias pooled buffers")
+	}
+	a.Release()
+	b.Release()
+}
+
+func TestReleaseIdempotentAndInert(t *testing.T) {
+	s, _ := NewStack(defaultCfg())
+	s.Release()
+	s.Release() // double release must be safe (and must not double-pool)
+	if s.StreamLen() != 0 {
+		t.Errorf("released stack StreamLen = %d", s.StreamLen())
+	}
+	if s.Speaker() != nil || s.Mic(0) != nil {
+		t.Error("released stack should expose no streams")
+	}
+	// A double release must not have put the same buffer in the pool
+	// twice: two fresh stacks must still be independent.
+	a, _ := NewStack(defaultCfg())
+	b, _ := NewStack(defaultCfg())
+	a.Speaker()[3] = 9
+	if b.Speaker()[3] != 0 {
+		t.Error("double release caused buffer sharing")
+	}
+	a.Release()
+	b.Release()
+}

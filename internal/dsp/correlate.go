@@ -14,20 +14,41 @@ import (
 // The result has length len(x)-len(h)+1; it returns nil when len(h) > len(x)
 // or either input is empty.
 func CrossCorrelate(x, h []float64) []float64 {
+	return crossCorrelate(x, h, false)
+}
+
+// CrossCorrelatePooled is CrossCorrelate with the result drawn from the
+// package scratch pool: callers that only scan the correlation (peak
+// picking) and then discard it release the buffer with PutF64 instead of
+// leaving a stream-sized slice to the GC every call.
+func CrossCorrelatePooled(x, h []float64) []float64 {
+	return crossCorrelate(x, h, true)
+}
+
+func crossCorrelate(x, h []float64, pooled bool) []float64 {
 	if len(h) == 0 || len(x) == 0 || len(h) > len(x) {
 		return nil
 	}
 	// Cost heuristic: direct is O(len(x)*len(h)); FFT is ~3 transforms of
 	// the padded length. Small templates are faster directly.
 	if len(h) < 64 {
-		return xcorrDirect(x, h)
+		return xcorrDirect(x, h, pooled)
 	}
-	return xcorrFFT(x, h)
+	return xcorrFFT(x, h, pooled)
 }
 
-func xcorrDirect(x, h []float64) []float64 {
+// allocResult picks the result allocation strategy. Pooled buffers come
+// zeroed from GetF64 and are fully overwritten by every correlation path.
+func allocResult(n int, pooled bool) []float64 {
+	if pooled {
+		return GetF64(n)
+	}
+	return make([]float64, n)
+}
+
+func xcorrDirect(x, h []float64, pooled bool) []float64 {
 	n := len(x) - len(h) + 1
-	out := make([]float64, n)
+	out := allocResult(n, pooled)
 	for k := 0; k < n; k++ {
 		var s float64
 		for n2, hv := range h {
@@ -38,7 +59,7 @@ func xcorrDirect(x, h []float64) []float64 {
 	return out
 }
 
-func xcorrFFT(x, h []float64) []float64 {
+func xcorrFFT(x, h []float64, pooled bool) []float64 {
 	m := NextPow2(len(x) + len(h) - 1)
 	fx := GetC128(m)
 	fh := GetC128(m)
@@ -57,7 +78,7 @@ func xcorrFFT(x, h []float64) []float64 {
 	}
 	fftPow2(fx, true)
 	inv := 1 / float64(m)
-	out := make([]float64, len(x)-len(h)+1)
+	out := allocResult(len(x)-len(h)+1, pooled)
 	for k := range out {
 		out[k] = real(fx[k]) * inv
 	}
@@ -69,7 +90,17 @@ func xcorrFFT(x, h []float64) []float64 {
 // [-1, 1] regardless of incoming signal scale. Windows of (near-)zero energy
 // yield 0. Length is len(x)-len(h)+1.
 func NormalizedCrossCorrelate(x, h []float64) []float64 {
-	r := CrossCorrelate(x, h)
+	return normalizedCrossCorrelate(x, h, false)
+}
+
+// NormalizedCrossCorrelatePooled is NormalizedCrossCorrelate with the
+// result drawn from the package scratch pool; release with PutF64.
+func NormalizedCrossCorrelatePooled(x, h []float64) []float64 {
+	return normalizedCrossCorrelate(x, h, true)
+}
+
+func normalizedCrossCorrelate(x, h []float64, pooled bool) []float64 {
+	r := crossCorrelate(x, h, pooled)
 	if r == nil {
 		return nil
 	}

@@ -39,7 +39,7 @@ func TestCrossCorrelateDirectEqualsFFT(t *testing.T) {
 		h[i] = r.NormFloat64()
 	}
 	fast := CrossCorrelate(x, h)
-	slow := xcorrDirect(x, h)
+	slow := xcorrDirect(x, h, false)
 	if len(fast) != len(slow) {
 		t.Fatalf("length mismatch %d vs %d", len(fast), len(slow))
 	}
@@ -231,5 +231,33 @@ func BenchmarkCrossCorrelatePreambleLen(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		CrossCorrelate(x, h)
+	}
+}
+
+// TestPooledCorrelateVariants: the pooled variants must match the plain
+// ones exactly and hand back buffers the pool will accept.
+func TestPooledCorrelateVariants(t *testing.T) {
+	x := make([]float64, 900)
+	h := make([]float64, 128)
+	for i := range x {
+		x[i] = float64(i%17) - 8
+	}
+	for i := range h {
+		h[i] = float64(i%5) - 2
+	}
+	for name, pair := range map[string][2][]float64{
+		"cross":      {CrossCorrelate(x, h), CrossCorrelatePooled(x, h)},
+		"normalized": {NormalizedCrossCorrelate(x, h), NormalizedCrossCorrelatePooled(x, h)},
+	} {
+		plain, pooled := pair[0], pair[1]
+		if len(plain) != len(pooled) {
+			t.Fatalf("%s: length %d vs %d", name, len(plain), len(pooled))
+		}
+		for i := range plain {
+			if plain[i] != pooled[i] {
+				t.Fatalf("%s: lag %d differs: %v vs %v", name, i, plain[i], pooled[i])
+			}
+		}
+		PutF64(pooled)
 	}
 }

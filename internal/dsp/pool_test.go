@@ -79,8 +79,8 @@ func TestCorrelateUsesPoolConsistently(t *testing.T) {
 	for i := range h {
 		h[i] = float64(i%7) - 3
 	}
-	got := xcorrFFT(x, h)
-	want := xcorrDirect(x, h)
+	got := xcorrFFT(x, h, false)
+	want := xcorrDirect(x, h, false)
 	for i := range want {
 		if d := got[i] - want[i]; d > 1e-6 || d < -1e-6 {
 			t.Fatalf("lag %d: fft %v direct %v", i, got[i], want[i])

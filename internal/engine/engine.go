@@ -28,7 +28,6 @@ package engine
 import (
 	"context"
 	"math/rand"
-	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -74,13 +73,7 @@ func Run[T any](ctx context.Context, cfg Config, n int, fn func(trial int, rng *
 	if n == 0 {
 		return out, ctx.Err()
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
+	workers := workerCount(cfg, n)
 	if workers == 1 {
 		// Serial fast path: no goroutines, no atomics — the reference
 		// the parallel path must be indistinguishable from.

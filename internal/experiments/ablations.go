@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -28,7 +29,7 @@ func AblationBandWindow(opt Options) (map[string][]float64, *stats.Table) {
 	p := sig.DefaultParams()
 	env := channel.Dock()
 	const fs = 44100.0
-	out := map[string][]float64{"hann": nil, "rectangular": nil}
+	sks := map[string]*stats.Sketch{"hann": stats.NewSketch(), "rectangular": stats.NewSketch()}
 
 	pre := p.Preamble()
 	det := ranging.NewDetector(p, ranging.DetectorConfig{}) // stateless, shared
@@ -36,7 +37,7 @@ func AblationBandWindow(opt Options) (map[string][]float64, *stats.Table) {
 		hann, rect float64
 		okH, okR   bool
 	}
-	res := engine.Map(opt.engine(saltAblBandWindow), trials, func(_ int, rng *rand.Rand) trialErrs {
+	engine.Each(opt.engine(saltAblBandWindow), trials, func(_ int, rng *rand.Rand) trialErrs {
 		// One shared channel realization per trial; both tapers score it.
 		var te trialErrs
 		sep := 15 + 10*rng.Float64()
@@ -76,25 +77,27 @@ func AblationBandWindow(opt Options) (map[string][]float64, *stats.Table) {
 			}
 		}
 		return te
-	})
-	for _, te := range res {
+	}, func(_ int, te trialErrs) {
 		if te.okH {
-			out["hann"] = append(out["hann"], te.hann)
+			sks["hann"].Add(te.hann)
+			opt.observe(te.hann)
 		}
 		if te.okR {
-			out["rectangular"] = append(out["rectangular"], te.rect)
+			sks["rectangular"].Add(te.rect)
 		}
-	}
+	})
 	table := &stats.Table{
 		ID:     "ablation-bandwindow",
 		Title:  "channel-estimate band taper: Hann vs rectangular",
 		Paper:  "(design choice, DESIGN.md §3.2 — not a paper figure)",
 		Header: []string{"window", "median err (m)", "95th (m)", "n"},
 	}
+	out := make(map[string][]float64)
 	for _, k := range []string{"hann", "rectangular"} {
-		es := out[k]
+		out[k] = sks[k].Values()
+		qs := sks[k].Quantiles(50, 95)
 		table.Rows = append(table.Rows, []string{
-			k, stats.F(stats.Median(es)), stats.F(stats.Percentile(es, 95)), stats.F(float64(len(es))),
+			k, stats.F(qs[0]), stats.F(qs[1]), stats.F(float64(sks[k].Count())),
 		})
 	}
 	return out, table
@@ -108,9 +111,12 @@ func AblationPrefilter(opt Options) (map[string]float64, *stats.Table) {
 	pre := p.Preamble()
 	detOn := ranging.NewDetector(p, ranging.DetectorConfig{})
 	detOff := ranging.NewDetector(p, ranging.DetectorConfig{DisablePrefilter: true})
-	// Paired trials: both variants score the same noisy stream.
+	// Paired trials: both variants score the same noisy stream. Hit
+	// counting is commutative, so the unordered stream suffices and the
+	// totals are still worker-count invariant.
 	type hit struct{ on, off bool }
-	res := engine.Map(opt.engine(saltAblPrefilter), trials, func(_ int, rng *rand.Rand) hit {
+	var onN, offN int
+	_ = engine.Stream(context.Background(), opt.engine(saltAblPrefilter), trials, func(_ int, rng *rand.Rand) hit {
 		stream := make([]float64, 40000)
 		for i := range stream {
 			stream[i] = 0.14 * rng.NormFloat64() // ≈−6 dB wideband
@@ -122,16 +128,14 @@ func AblationPrefilter(opt Options) (map[string]float64, *stats.Table) {
 			on:  len(detOn.Detect(stream)) > 0,
 			off: len(detOff.Detect(stream)) > 0,
 		}
-	})
-	var onN, offN int
-	for _, h := range res {
+	}, func(_ int, h hit) {
 		if h.on {
 			onN++
 		}
 		if h.off {
 			offN++
 		}
-	}
+	})
 	rates := map[string]float64{
 		"with prefilter":    float64(onN) / float64(trials),
 		"without prefilter": float64(offN) / float64(trials),
@@ -153,13 +157,13 @@ func AblationPrefilter(opt Options) (map[string]float64, *stats.Table) {
 // problems (escaping deceptive local minima).
 func AblationRestarts(opt Options) (map[string][]float64, *stats.Table) {
 	trials := opt.samples(80)
-	out := map[string][]float64{"restarts=0": nil, "restarts=2": nil}
+	sks := map[string]*stats.Sketch{"restarts=0": stats.NewSketch(), "restarts=2": stats.NewSketch()}
 	type stresses struct {
 		r0, r2 float64
 		ok0    bool
 		ok2    bool
 	}
-	res := engine.Map(opt.engine(saltAblRestarts), trials, func(_ int, rng *rand.Rand) stresses {
+	engine.Each(opt.engine(saltAblRestarts), trials, func(_ int, rng *rand.Rand) stresses {
 		// Random 6-node geometry with one corrupted link.
 		var st stresses
 		pts := make([]geom.Vec2, 6)
@@ -206,25 +210,27 @@ func AblationRestarts(opt Options) (map[string][]float64, *stats.Table) {
 			}
 		}
 		return st
-	})
-	for _, st := range res {
+	}, func(_ int, st stresses) {
 		if st.ok0 {
-			out["restarts=0"] = append(out["restarts=0"], st.r0)
+			sks["restarts=0"].Add(st.r0)
 		}
 		if st.ok2 {
-			out["restarts=2"] = append(out["restarts=2"], st.r2)
+			sks["restarts=2"].Add(st.r2)
+			opt.observe(st.r2)
 		}
-	}
+	})
 	table := &stats.Table{
 		ID:     "ablation-restarts",
 		Title:  "SMACOF restarts on outlier-bearing problems (normalized stress found)",
 		Paper:  "(design choice — higher stress found = better outlier detectability)",
 		Header: []string{"variant", "median stress (m)", "5th pct (m)"},
 	}
+	out := make(map[string][]float64)
 	for _, k := range []string{"restarts=0", "restarts=2"} {
-		es := out[k]
+		out[k] = sks[k].Values()
+		qs := sks[k].Quantiles(50, 5)
 		table.Rows = append(table.Rows, []string{
-			k, stats.F(stats.Median(es)), stats.F(stats.Percentile(es, 5)),
+			k, stats.F(qs[0]), stats.F(qs[1]),
 		})
 	}
 	return out, table
@@ -236,7 +242,7 @@ func AblationRestarts(opt Options) (map[string][]float64, *stats.Table) {
 func AblationReportBack(opt Options) (map[string][]float64, *stats.Table) {
 	rounds := opt.samples(8)
 	env := channel.Dock()
-	out := map[string][]float64{"full comm": nil, "lossless": nil}
+	sks := map[string]*stats.Sketch{"full comm": stats.NewSketch(), "lossless": stats.NewSketch()}
 	for _, variant := range []struct {
 		name     string
 		lossless bool
@@ -247,12 +253,14 @@ func AblationReportBack(opt Options) (map[string][]float64, *stats.Table) {
 			return cfg
 		}
 		// Same salt for both variants: paired rounds isolate the comm cost.
-		rds := collectRounds(opt, saltAblReportBack, mk, rounds)
-		for _, rd := range rds {
+		streamRounds(opt, saltAblReportBack, mk, rounds, func(rd roundData) {
 			if errs, _, ok := localizeErrors(rd, core.DefaultConfig()); ok {
-				out[variant.name] = append(out[variant.name], errs...)
+				for _, e := range errs {
+					sks[variant.name].Add(e)
+					opt.observe(e)
+				}
 			}
-		}
+		})
 	}
 	table := &stats.Table{
 		ID:     "ablation-reportback",
@@ -260,10 +268,12 @@ func AblationReportBack(opt Options) (map[string][]float64, *stats.Table) {
 		Paper:  "(design cost of §2.4: 2-sample quantization + FSK + coding)",
 		Header: []string{"variant", "median (m)", "95th (m)", "n"},
 	}
+	out := make(map[string][]float64)
 	for _, k := range []string{"full comm", "lossless"} {
-		es := out[k]
+		out[k] = sks[k].Values()
+		qs := sks[k].Quantiles(50, 95)
 		table.Rows = append(table.Rows, []string{
-			k, stats.F(stats.Median(es)), stats.F(stats.Percentile(es, 95)), stats.F(float64(len(es))),
+			k, stats.F(qs[0]), stats.F(qs[1]), stats.F(float64(sks[k].Count())),
 		})
 	}
 	return out, table

@@ -29,6 +29,19 @@ type Options struct {
 	// (0 = GOMAXPROCS). Results are identical for every worker count —
 	// see internal/engine's seeding contract.
 	Workers int
+	// Progress, when non-nil, receives each completed trial's headline
+	// scalar (typically an error in metres) as results stream out of the
+	// engine — the hook behind uwbench's live -progress line. Calls are
+	// serialized on the experiment's goroutine; the callback must not
+	// block for long (it stalls result delivery, not the trials).
+	Progress func(v float64)
+}
+
+// observe forwards one trial scalar to the Progress hook, if any.
+func (o Options) observe(v float64) {
+	if o.Progress != nil {
+		o.Progress(v)
+	}
 }
 
 func (o Options) samples(def int) int {
@@ -117,11 +130,14 @@ func analyticalScenario(rng *rand.Rand, n int) []geom.Vec3 {
 // divers (excluding the leader) or NaN on failure.
 func analyticalTrial(rng *rand.Rand, truth []geom.Vec3, e1d, eh, eThetaRad float64, drops int) float64 {
 	n := len(truth)
+	// One slab for both matrices: 2 allocations instead of 2n+2 per trial,
+	// which the engine benchmarks count.
+	slab := make([]float64, 2*n*n)
 	d := make([][]float64, n)
 	w := make([][]float64, n)
 	for i := range d {
-		d[i] = make([]float64, n)
-		w[i] = make([]float64, n)
+		d[i] = slab[i*n : (i+1)*n : (i+1)*n]
+		w[i] = slab[(n+i)*n : (n+i+1)*n : (n+i+1)*n]
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
@@ -202,21 +218,24 @@ func clamp(v, lo, hi float64) float64 {
 	return v
 }
 
-// meanOverTrials fans trials across the engine and averages, skipping
-// failures. salt keeps each sweep point on its own per-trial streams.
+// meanOverTrials fans trials across the engine and averages online,
+// skipping failures — results stream into the sum as they complete, in
+// trial order (engine.Each), so the floating-point total matches the old
+// collect-then-sum loop bit for bit at any worker count. salt keeps each
+// sweep point on its own per-trial streams.
 func meanOverTrials(opt Options, salt int64, n, trials int, e1d, eh, eTheta float64, drops int) float64 {
-	vals := engine.Map(opt.engine(salt), trials, func(_ int, rng *rand.Rand) float64 {
-		truth := analyticalScenario(rng, n)
-		return analyticalTrial(rng, truth, e1d, eh, eTheta, drops)
-	})
 	var sum float64
 	var ok int
-	for _, v := range vals {
+	engine.Each(opt.engine(salt), trials, func(_ int, rng *rand.Rand) float64 {
+		truth := analyticalScenario(rng, n)
+		return analyticalTrial(rng, truth, e1d, eh, eTheta, drops)
+	}, func(_ int, v float64) {
 		if !math.IsNaN(v) {
 			sum += v
 			ok++
+			opt.observe(v)
 		}
-	}
+	})
 	if ok == 0 {
 		return math.NaN()
 	}

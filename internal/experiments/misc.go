@@ -35,12 +35,16 @@ func Fig13b(opt Options) (map[string][]float64, *stats.Table) {
 	const refs = 10 // 0–9 m in 1 m steps
 	for ni, name := range []string{"watch", "phone"} {
 		s := sensors[name]
-		errs := engine.Map(opt.engine(saltFig13b+int64(ni)), refs*reps, func(t int, rng *rand.Rand) float64 {
+		sk := stats.NewSketch()
+		engine.Each(opt.engine(saltFig13b+int64(ni)), refs*reps, func(t int, rng *rand.Rand) float64 {
 			ref := float64(t / reps)
 			return math.Abs(s.Read(ref, rng) - ref)
+		}, func(_ int, e float64) {
+			sk.Add(e)
+			opt.observe(e)
 		})
-		out[name] = errs
-		table.Rows = append(table.Rows, []string{name, stats.F(stats.Mean(errs)), stats.F(stats.Std(errs))})
+		out[name] = sk.Values()
+		table.Rows = append(table.Rows, []string{name, stats.F(sk.Mean()), stats.F(sk.Std())})
 	}
 	return out, table
 }

@@ -42,17 +42,20 @@ type roundData struct {
 	trial   int // trial index within the collect, for derived randomness
 }
 
-// collectRounds fans full acoustic rounds across the trial engine. mk
-// builds trial t's scenario, drawing any per-round variation from rng;
-// the round itself then consumes the same rng inside the network, per the
-// engine's seeding contract. Failed rounds are dropped; survivors keep
-// trial order.
-func collectRounds(opt Options, salt int64, mk func(trial int, rng *rand.Rand) sim.Config, rounds int) []roundData {
+// streamRounds fans full acoustic rounds across the trial engine and hands
+// each surviving round to sink as soon as it completes, in trial order
+// (engine.Each), so per-round post-processing runs while later rounds are
+// still simulating and no round is retained past its sink call — the
+// memory profile is one round per worker instead of one per trial. mk
+// builds trial t's scenario, drawing any per-round variation from rng; the
+// round itself then consumes the same rng inside the network, per the
+// engine's seeding contract. Failed rounds are dropped.
+func streamRounds(opt Options, salt int64, mk func(trial int, rng *rand.Rand) sim.Config, rounds int, sink func(rd roundData)) {
 	type slot struct {
 		rd roundData
 		ok bool
 	}
-	slots := engine.Map(opt.engine(salt), rounds, func(t int, rng *rand.Rand) slot {
+	engine.Each(opt.engine(salt), rounds, func(t int, rng *rand.Rand) slot {
 		cfg := mk(t, rng)
 		if cfg.Rng == nil {
 			cfg.Rng = rng
@@ -67,17 +70,14 @@ func collectRounds(opt Options, salt int64, mk func(trial int, rng *rand.Rand) s
 		}
 		_, bearing := sim.LeaderOrientation(cfg.Devices[0].Pos, cfg.Devices[1].Pos, 0)
 		return slot{rd: roundData{nw: nw, round: round, bearing: bearing, cfg: cfg, trial: t}, ok: true}
-	})
-	var out []roundData
-	for _, s := range slots {
+	}, func(_ int, s slot) {
 		if s.ok {
-			out = append(out, s.rd)
+			sink(s.rd)
 		}
-	}
-	return out
+	})
 }
 
-// staticTestbed adapts a fixed scenario to collectRounds' factory shape.
+// staticTestbed adapts a fixed scenario to streamRounds' factory shape.
 func staticTestbed(env *channel.Environment) func(int, *rand.Rand) sim.Config {
 	return func(int, *rand.Rand) sim.Config { return testbed(env, 0) }
 }
@@ -110,31 +110,37 @@ func Fig18(opt Options) (map[string][]float64, *stats.Table) {
 	}
 	for si, site := range []string{"dock", "boathouse"} {
 		env, _ := channel.ByName(site)
-		rds := collectRounds(opt, saltFig18+int64(si), staticTestbed(env), rounds)
-		buckets := map[string][]float64{"0-10m": nil, "10-15m": nil, "15-25m": nil, "all": nil}
-		for _, rd := range rds {
+		buckets := map[string]*stats.Sketch{
+			"0-10m": stats.NewSketch(), "10-15m": stats.NewSketch(),
+			"15-25m": stats.NewSketch(), "all": stats.NewSketch(),
+		}
+		// Rounds are scored as they complete; nothing but the bucket
+		// sketches survives a round's sink call.
+		streamRounds(opt, saltFig18+int64(si), staticTestbed(env), rounds, func(rd roundData) {
 			errs, dist, ok := localizeErrors(rd, core.DefaultConfig())
 			if !ok {
-				continue
+				return
 			}
 			for k, e := range errs {
-				buckets["all"] = append(buckets["all"], e)
+				buckets["all"].Add(e)
+				opt.observe(e)
 				switch {
 				case dist[k] <= 10:
-					buckets["0-10m"] = append(buckets["0-10m"], e)
+					buckets["0-10m"].Add(e)
 				case dist[k] <= 15:
-					buckets["10-15m"] = append(buckets["10-15m"], e)
+					buckets["10-15m"].Add(e)
 				default:
-					buckets["15-25m"] = append(buckets["15-25m"], e)
+					buckets["15-25m"].Add(e)
 				}
 			}
-		}
+		})
 		for _, b := range []string{"all", "0-10m", "10-15m", "15-25m"} {
-			es := buckets[b]
-			out[site+"/"+b] = es
+			sk := buckets[b]
+			out[site+"/"+b] = sk.Values()
+			qs := sk.Quantiles(50, 95)
 			table.Rows = append(table.Rows, []string{
-				site, b, stats.F(stats.Median(es)), stats.F(stats.Percentile(es, 95)),
-				stats.F(float64(len(es))),
+				site, b, stats.F(qs[0]), stats.F(qs[1]),
+				stats.F(float64(sk.Count())),
 			})
 		}
 	}
@@ -155,30 +161,35 @@ func Fig19a(opt Options) (map[string][]float64, *stats.Table) {
 		cfg.Faults = []sim.LinkFault{{A: 0, B: 1, DirectAtt: 0.02}}
 		return cfg
 	}
-	rds := collectRounds(opt, saltFig19a, mk, rounds)
-	out := map[string][]float64{"with": nil, "without": nil}
 	noOutlier := core.DefaultConfig()
 	noOutlier.MaxOutliers = 0
 	noOutlier.StressAccept = math.Inf(1) // never search
-	for _, rd := range rds {
+	sks := map[string]*stats.Sketch{"with": stats.NewSketch(), "without": stats.NewSketch()}
+	streamRounds(opt, saltFig19a, mk, rounds, func(rd roundData) {
 		if errs, _, ok := localizeErrors(rd, core.DefaultConfig()); ok {
-			out["with"] = append(out["with"], errs...)
+			for _, e := range errs {
+				sks["with"].Add(e)
+				opt.observe(e)
+			}
 		}
 		if errs, _, ok := localizeErrors(rd, noOutlier); ok {
-			out["without"] = append(out["without"], errs...)
+			for _, e := range errs {
+				sks["without"].Add(e)
+			}
 		}
-	}
+	})
 	table := &stats.Table{
 		ID:     "fig19a",
 		Title:  "occluded leader↔user-1 link: with vs without outlier detection",
 		Paper:  "with detection median 1.4 m / 95th 3.4 m; without, the 90–100th percentile tail explodes",
 		Header: []string{"variant", "median (m)", "95th (m)", "99th (m)"},
 	}
+	out := make(map[string][]float64)
 	for _, k := range []string{"with", "without"} {
-		es := out[k]
+		out[k] = sks[k].Values()
+		qs := sks[k].Quantiles(50, 95, 99)
 		table.Rows = append(table.Rows, []string{
-			k + " outlier detection", stats.F(stats.Median(es)),
-			stats.F(stats.Percentile(es, 95)), stats.F(stats.Percentile(es, 99)),
+			k + " outlier detection", stats.F(qs[0]), stats.F(qs[1]), stats.F(qs[2]),
 		})
 	}
 	return out, table
@@ -190,15 +201,19 @@ func Fig19a(opt Options) (map[string][]float64, *stats.Table) {
 func Fig19b(opt Options) (map[string][]float64, *stats.Table) {
 	rounds := opt.samples(12)
 	env := channel.Dock()
-	rds := collectRounds(opt, saltFig19b, staticTestbed(env), rounds)
-	out := map[string][]float64{"full": nil, "link-drop": nil, "node-drop": nil}
-	for _, rd := range rds {
+	sks := map[string]*stats.Sketch{
+		"full": stats.NewSketch(), "link-drop": stats.NewSketch(), "node-drop": stats.NewSketch(),
+	}
+	streamRounds(opt, saltFig19b, staticTestbed(env), rounds, func(rd roundData) {
 		// Post-processing randomness (which link/node to drop) runs on a
 		// stream derived from the round's trial index so it is stable
 		// under any worker count.
 		rng := engine.Rand(opt.seed()^0x19b, rd.trial)
 		if errs, _, ok := localizeErrors(rd, core.DefaultConfig()); ok {
-			out["full"] = append(out["full"], errs...)
+			for _, e := range errs {
+				sks["full"].Add(e)
+				opt.observe(e)
+			}
 		}
 		// Random link removed (never the leader↔user-1 link, which the
 		// pipeline requires), provided the remainder stays realizable.
@@ -216,23 +231,29 @@ func Fig19b(opt Options) (map[string][]float64, *stats.Table) {
 			w2[a][b], w2[b][a] = 1, 1
 		}
 		if errs, ok := relocalize(rd, rd.round.D, w2); ok {
-			out["link-drop"] = append(out["link-drop"], errs...)
+			for _, e := range errs {
+				sks["link-drop"].Add(e)
+			}
 		}
 		// Random node removed (not leader, not user 1).
 		drop := 2 + rng.Intn(n-2)
 		if errs, ok := relocalizeWithoutNode(rd, drop); ok {
-			out["node-drop"] = append(out["node-drop"], errs...)
+			for _, e := range errs {
+				sks["node-drop"].Add(e)
+			}
 		}
-	}
+	})
 	table := &stats.Table{
 		ID:     "fig19b",
 		Title:  "full network vs random link drop vs random node drop (dock)",
 		Paper:  "medians similar (1.0 vs 0.9 m); link drop inflates the 95th (6.2 vs 3.2 m); node drop does not hurt",
 		Header: []string{"variant", "median (m)", "95th (m)"},
 	}
+	out := make(map[string][]float64)
 	for _, k := range []string{"full", "link-drop", "node-drop"} {
-		es := out[k]
-		table.Rows = append(table.Rows, []string{k, stats.F(stats.Median(es)), stats.F(stats.Percentile(es, 95))})
+		out[k] = sks[k].Values()
+		qs := sks[k].Quantiles(50, 95)
+		table.Rows = append(table.Rows, []string{k, stats.F(qs[0]), stats.F(qs[1])})
 	}
 	return out, table
 }
@@ -309,27 +330,33 @@ func relocalizeWithoutNode(rd roundData, drop int) ([]float64, bool) {
 func FourDevices(opt Options) (map[string][]float64, *stats.Table) {
 	rounds := opt.samples(10)
 	env := channel.Dock()
-	rds := collectRounds(opt, saltFourDevices, staticTestbed(env), rounds)
-	out := map[string][]float64{"5-device": nil, "4-device": nil}
-	for _, rd := range rds {
+	sks := map[string]*stats.Sketch{"5-device": stats.NewSketch(), "4-device": stats.NewSketch()}
+	streamRounds(opt, saltFourDevices, staticTestbed(env), rounds, func(rd roundData) {
 		rng := engine.Rand(opt.seed()^0x4de, rd.trial)
 		if errs, _, ok := localizeErrors(rd, core.DefaultConfig()); ok {
-			out["5-device"] = append(out["5-device"], errs...)
+			for _, e := range errs {
+				sks["5-device"].Add(e)
+				opt.observe(e)
+			}
 		}
 		drop := 2 + rng.Intn(len(rd.round.D)-2)
 		if errs, ok := relocalizeWithoutNode(rd, drop); ok {
-			out["4-device"] = append(out["4-device"], errs...)
+			for _, e := range errs {
+				sks["4-device"].Add(e)
+			}
 		}
-	}
+	})
 	table := &stats.Table{
 		ID:     "fig19b-4dev",
 		Title:  "5-device vs 4-device networks (dock)",
 		Paper:  "similar CDFs: medians 0.9 vs 0.8 m, both 95th ≈3.2 m",
 		Header: []string{"network", "median (m)", "95th (m)"},
 	}
+	out := make(map[string][]float64)
 	for _, k := range []string{"5-device", "4-device"} {
-		es := out[k]
-		table.Rows = append(table.Rows, []string{k, stats.F(stats.Median(es)), stats.F(stats.Percentile(es, 95))})
+		out[k] = sks[k].Values()
+		qs := sks[k].Quantiles(50, 95)
+		table.Rows = append(table.Rows, []string{k, stats.F(qs[0]), stats.F(qs[1])})
 	}
 	return out, table
 }
@@ -346,6 +373,7 @@ func Fig20(opt Options) (map[string][]float64, *stats.Table) {
 		Paper:  "moving user 1: 0.2→0.3 m; moving user 2: 0.4→0.8 m — modest degradation",
 		Header: []string{"moving", "user", "median (m)", "95th (m)"},
 	}
+	sks := make(map[string]*stats.Sketch)
 	for _, mover := range []int{1, 2} {
 		mk := func(_ int, rng *rand.Rand) sim.Config {
 			cfg := testbed(env, 0)
@@ -354,22 +382,26 @@ func Fig20(opt Options) (map[string][]float64, *stats.Table) {
 			cfg.Devices[mover].Traj = sim.Oscillate(start, geom.Vec3{X: 1, Y: 0.4}, 1.5, speed)
 			return cfg
 		}
-		rds := collectRounds(opt, saltFig20+int64(mover), mk, rounds)
-		for _, rd := range rds {
+		for _, user := range []int{1, 2} {
+			sks[keyFor(mover, user)] = stats.NewSketch()
+		}
+		streamRounds(opt, saltFig20+int64(mover), mk, rounds, func(rd roundData) {
 			loc, err := rd.nw.LocalizeRound(rd.round, rd.bearing, core.DefaultConfig())
 			if err != nil {
-				continue
+				return
 			}
 			for _, user := range []int{1, 2} {
-				key := keyFor(mover, user)
-				out[key] = append(out[key], loc.Err2D[user])
+				sks[keyFor(mover, user)].Add(loc.Err2D[user])
+				opt.observe(loc.Err2D[user])
 			}
-		}
+		})
 		for _, user := range []int{1, 2} {
-			es := out[keyFor(mover, user)]
+			key := keyFor(mover, user)
+			out[key] = sks[key].Values()
+			qs := sks[key].Quantiles(50, 95)
 			table.Rows = append(table.Rows, []string{
 				"user " + stats.F(float64(mover)), "user " + stats.F(float64(user)),
-				stats.F(stats.Median(es)), stats.F(stats.Percentile(es, 95)),
+				stats.F(qs[0]), stats.F(qs[1]),
 			})
 		}
 	}
@@ -396,7 +428,8 @@ func RTT(opt Options) (map[int]float64, *stats.Table) {
 		analytic := protocol.DefaultParams(n).RoundTime(true)
 		measured := math.NaN()
 		if n <= 5 { // keep full-stack effort bounded; schedule is exact anyway
-			lat := engine.Map(opt.engine(saltRTT+int64(n)), measuredRounds, func(_ int, rng *rand.Rand) float64 {
+			sk := stats.NewSketch()
+			engine.Each(opt.engine(saltRTT+int64(n)), measuredRounds, func(_ int, rng *rand.Rand) float64 {
 				cfg := testbed(env, 0)
 				cfg.Rng = rng
 				cfg.Devices = cfg.Devices[:n]
@@ -409,14 +442,13 @@ func RTT(opt Options) (map[int]float64, *stats.Table) {
 					return math.NaN()
 				}
 				return round.Latency
-			})
-			var vals []float64
-			for _, v := range lat {
+			}, func(_ int, v float64) {
 				if !math.IsNaN(v) {
-					vals = append(vals, v)
+					sk.Add(v)
+					opt.observe(v)
 				}
-			}
-			measured = stats.Mean(vals)
+			})
+			measured = sk.Mean()
 		}
 		out[n] = analytic
 		table.Rows = append(table.Rows, []string{
@@ -432,9 +464,8 @@ func RTT(opt Options) (map[int]float64, *stats.Table) {
 func Flipping(opt Options) (single, triple float64, table *stats.Table) {
 	rounds := opt.samples(15)
 	env := channel.Dock()
-	rds := collectRounds(opt, saltFlipping, staticTestbed(env), rounds)
 	var singleOK, singleTotal, tripleOK, tripleTotal int
-	for _, rd := range rds {
+	streamRounds(opt, saltFlipping, staticTestbed(env), rounds, func(rd roundData) {
 		truth := rd.nw.TruePositions(0.70)
 		for i := 2; i < len(truth); i++ {
 			sign := rd.round.MicSigns[i]
@@ -473,7 +504,7 @@ func Flipping(opt Options) (single, triple float64, table *stats.Table) {
 		if vote > 0 {
 			tripleOK++
 		}
-	}
+	})
 	single = ratio(singleOK, singleTotal)
 	triple = ratio(tripleOK, tripleTotal)
 	table = &stats.Table{
@@ -499,8 +530,8 @@ func ratio(a, b int) float64 {
 // Headline aggregates the paper's top-line numbers from lighter runs of
 // the underlying experiments.
 func Headline(opt Options) *stats.Table {
-	r1d, _ := Fig11a(Options{Seed: opt.Seed, Samples: opt.samples(12), Workers: opt.Workers})
-	net, _ := Fig18(Options{Seed: opt.Seed + 1, Samples: opt.samples(6), Workers: opt.Workers})
+	r1d, _ := Fig11a(Options{Seed: opt.Seed, Samples: opt.samples(12), Workers: opt.Workers, Progress: opt.Progress})
+	net, _ := Fig18(Options{Seed: opt.Seed + 1, Samples: opt.samples(6), Workers: opt.Workers, Progress: opt.Progress})
 	table := &stats.Table{
 		ID:     "headline",
 		Title:  "headline results vs paper (§1 key findings)",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -28,33 +29,42 @@ func rangeOnce(cfg sim.Config, method sim.RangingMethod) sim.RangeTrialResult {
 	return res
 }
 
-// detectedErrors extracts absolute errors from the detected exchanges.
-func detectedErrors(rs []sim.RangeTrialResult) []float64 {
-	var errs []float64
-	for _, r := range rs {
-		if r.Detected {
-			errs = append(errs, r.AbsError())
+// sketchErrors streams detected exchange errors from the engine into a
+// fixed-memory quantile sketch: results feed the aggregate as trials
+// complete (in trial order, so aggregation is bit-identical at any worker
+// count) and memory stays bounded no matter the trial count. At default
+// sample counts the sketch is exact, so tables match the old
+// collect-then-Percentile path byte for byte.
+type trialErr struct {
+	err float64
+	ok  bool
+}
+
+func sketchErrors(opt Options, salt int64, n int, fn func(trial int, rng *rand.Rand) trialErr) (sk *stats.Sketch, missed int) {
+	sk = stats.NewSketch()
+	engine.Each(opt.engine(salt), n, fn, func(_ int, t trialErr) {
+		if t.ok {
+			sk.Add(t.err)
+			opt.observe(t.err)
+		} else {
+			missed++
 		}
-	}
-	return errs
+	})
+	return sk, missed
 }
 
 // rangeTrials fans n two-way exchanges of the given method across the
 // trial engine, each in a fresh two-device scenario driven by its own
-// per-trial RNG, returning absolute errors (undetected exchanges are
-// skipped and counted).
-func rangeTrials(opt Options, salt int64, env *channel.Environment, method sim.RangingMethod, sepM, depthA, depthB float64, n int) (errs []float64, missed int) {
+// per-trial RNG, streaming absolute errors into a sketch (undetected
+// exchanges are skipped and counted).
+func rangeTrials(opt Options, salt int64, env *channel.Environment, method sim.RangingMethod, sepM, depthA, depthB float64, n int) (*stats.Sketch, int) {
 	return rangeTrialsOccluded(opt, salt, env, method, sepM, depthA, depthB, n, 0)
 }
 
 // rangeTrialsOccluded additionally attenuates the direct ray (directAtt >
 // 0 models a blocked line of sight, §3.2's occlusion study).
-func rangeTrialsOccluded(opt Options, salt int64, env *channel.Environment, method sim.RangingMethod, sepM, depthA, depthB float64, n int, directAtt float64) (errs []float64, missed int) {
-	type trial struct {
-		err float64
-		ok  bool
-	}
-	out := engine.Map(opt.engine(salt), n, func(_ int, rng *rand.Rand) trial {
+func rangeTrialsOccluded(opt Options, salt int64, env *channel.Environment, method sim.RangingMethod, sepM, depthA, depthB float64, n int, directAtt float64) (*stats.Sketch, int) {
+	return sketchErrors(opt, salt, n, func(_ int, rng *rand.Rand) trialErr {
 		// Per-trial rig sway: the paper's pole/rope mounts drift by
 		// decimetres between submersions.
 		sep := sepM + 0.15*rng.NormFloat64()
@@ -67,18 +77,10 @@ func rangeTrialsOccluded(opt Options, salt int64, env *channel.Environment, meth
 		}
 		res := rangeOnce(cfg, method)
 		if !res.Detected {
-			return trial{}
+			return trialErr{}
 		}
-		return trial{err: res.AbsError(), ok: true}
+		return trialErr{err: res.AbsError(), ok: true}
 	})
-	for _, t := range out {
-		if t.ok {
-			errs = append(errs, t.err)
-		} else {
-			missed++
-		}
-	}
-	return errs, missed
 }
 
 // Fig11a measures ranging-error CDFs vs device separation (10/20/35/45 m,
@@ -93,10 +95,11 @@ func Fig11a(opt Options) (map[float64][]float64, *stats.Table) {
 		Header: []string{"sep (m)", "median (m)", "95th (m)", "missed"},
 	}
 	for i, sep := range []float64{10, 20, 35, 45} {
-		errs, missed := rangeTrials(opt, saltFig11a+int64(i), channel.Dock(), sim.MethodDualMic, sep, 2.5, 2.5, trials)
-		out[sep] = errs
+		sk, missed := rangeTrials(opt, saltFig11a+int64(i), channel.Dock(), sim.MethodDualMic, sep, 2.5, 2.5, trials)
+		out[sep] = sk.Values()
+		qs := sk.Quantiles(50, 95)
 		table.Rows = append(table.Rows, []string{
-			stats.F(sep), stats.F(stats.Median(errs)), stats.F(stats.Percentile(errs, 95)),
+			stats.F(sep), stats.F(qs[0]), stats.F(qs[1]),
 			stats.F(float64(missed)),
 		})
 	}
@@ -118,9 +121,9 @@ func Fig11b(opt Options) (map[string][]float64, *stats.Table) {
 	for i, sep := range []float64{10, 20, 35, 45} {
 		row := []string{stats.F(sep)}
 		for _, m := range methods {
-			errs, _ := rangeTrials(opt, saltFig11b+int64(i)*10+int64(m), channel.Dock(), m, sep, 2.5, 2.5, trials)
-			out[m.String()] = append(out[m.String()], errs...)
-			row = append(row, stats.F(stats.Percentile(errs, 95)))
+			sk, _ := rangeTrials(opt, saltFig11b+int64(i)*10+int64(m), channel.Dock(), m, sep, 2.5, 2.5, trials)
+			out[m.String()] = append(out[m.String()], sk.Values()...)
+			row = append(row, stats.F(sk.Quantile(95)))
 		}
 		table.Rows = append(table.Rows, row)
 	}
@@ -169,7 +172,13 @@ func Fig12a(opt Options) (ours DetectionCounts, fmcw []DetectionCounts, table *s
 		oursFP, oursFN bool
 		fp, fn         []bool
 	}
-	counts := engine.Map(opt.engine(saltFig12a), trials, func(_ int, rng *rand.Rand) trialCounts {
+	// Counter accumulation is commutative, so results stream through the
+	// unordered sink in completion order — no reorder window needed and
+	// the totals are still identical for every worker count.
+	var oursFP, oursFN int
+	fpN := make([]int, len(thresholds))
+	fnN := make([]int, len(thresholds))
+	_ = engine.Stream(context.Background(), opt.engine(saltFig12a), trials, func(_ int, rng *rand.Rand) trialCounts {
 		tc := trialCounts{fp: make([]bool, len(thresholds)), fn: make([]bool, len(thresholds))}
 		tc.oursFP = len(det.Detect(makeStream(rng, pre, false))) > 0
 		tc.oursFN = len(det.Detect(makeStream(rng, pre, true))) == 0
@@ -182,11 +191,7 @@ func Fig12a(opt Options) (ours DetectionCounts, fmcw []DetectionCounts, table *s
 			tc.fn[i] = len(wd.Detect(present)) == 0
 		}
 		return tc
-	})
-	var oursFP, oursFN int
-	fpN := make([]int, len(thresholds))
-	fnN := make([]int, len(thresholds))
-	for _, tc := range counts {
+	}, func(_ int, tc trialCounts) {
 		if tc.oursFP {
 			oursFP++
 		}
@@ -201,7 +206,7 @@ func Fig12a(opt Options) (ours DetectionCounts, fmcw []DetectionCounts, table *s
 				fnN[i]++
 			}
 		}
-	}
+	})
 	ours = DetectionCounts{
 		FPRatio: float64(oursFP) / float64(trials),
 		FNRatio: float64(oursFN) / float64(trials),
@@ -242,12 +247,12 @@ func Fig12b(opt Options) (map[string]map[float64][]float64, *stats.Table) {
 	for di, dist := range []float64{10, 20, 28} {
 		row := []string{stats.F(dist)}
 		for _, m := range methods {
-			errs, missed := rangeTrials(opt, saltFig12b+int64(di)*10+int64(m), channel.Boathouse(), m, dist, 1.0, 1.0, trials)
+			sk, missed := rangeTrials(opt, saltFig12b+int64(di)*10+int64(m), channel.Boathouse(), m, dist, 1.0, 1.0, trials)
 			if out[m.String()] == nil {
 				out[m.String()] = make(map[float64][]float64)
 			}
-			out[m.String()][dist] = errs
-			cell := stats.F(stats.Mean(errs)) + "±" + stats.F(stats.Std(errs))
+			out[m.String()][dist] = sk.Values()
+			cell := stats.F(sk.Mean()) + "±" + stats.F(sk.Std())
 			if missed > 0 {
 				cell += " (miss " + stats.F(float64(missed)) + ")"
 			}
@@ -261,13 +266,13 @@ func Fig12b(opt Options) (map[string]map[float64][]float64, *stats.Table) {
 	// the mechanism behind the paper's gap.
 	row := []string{"20 (occl)"}
 	for _, m := range methods {
-		errs, missed := rangeTrialsOccluded(opt, saltFig12b+500+int64(m), channel.Boathouse(), m, 20, 1.0, 1.0, trials, 0.25)
+		sk, missed := rangeTrialsOccluded(opt, saltFig12b+500+int64(m), channel.Boathouse(), m, 20, 1.0, 1.0, trials, 0.25)
 		key := m.String() + "/occluded"
 		if out[key] == nil {
 			out[key] = make(map[float64][]float64)
 		}
-		out[key][20] = errs
-		cell := stats.F(stats.Mean(errs)) + "±" + stats.F(stats.Std(errs))
+		out[key][20] = sk.Values()
+		cell := stats.F(sk.Mean()) + "±" + stats.F(sk.Std())
 		if missed > 0 {
 			cell += " (miss " + stats.F(float64(missed)) + ")"
 		}
@@ -289,9 +294,10 @@ func Fig13a(opt Options) (map[float64][]float64, *stats.Table) {
 		Header: []string{"depth (m)", "median (m)", "95th (m)"},
 	}
 	for i, d := range []float64{2, 5, 8} {
-		errs, _ := rangeTrials(opt, saltFig13a+int64(i), channel.Dock(), sim.MethodDualMic, 18, d, d, trials)
-		out[d] = errs
-		table.Rows = append(table.Rows, []string{stats.F(d), stats.F(stats.Median(errs)), stats.F(stats.Percentile(errs, 95))})
+		sk, _ := rangeTrials(opt, saltFig13a+int64(i), channel.Dock(), sim.MethodDualMic, 18, d, d, trials)
+		out[d] = sk.Values()
+		qs := sk.Quantiles(50, 95)
+		table.Rows = append(table.Rows, []string{stats.F(d), stats.F(qs[0]), stats.F(qs[1])})
 	}
 	return out, table
 }
@@ -318,7 +324,7 @@ func Fig14a(opt Options) (map[string][]float64, *stats.Table) {
 		Header: []string{"orientation", "median (m)", "95th (m)"},
 	}
 	for ci, c := range cases {
-		errs := detectedErrors(engine.Map(opt.engine(saltFig14a+int64(ci)), trials, func(_ int, rng *rand.Rand) sim.RangeTrialResult {
+		sk, _ := sketchErrors(opt, saltFig14a+int64(ci), trials, func(_ int, rng *rand.Rand) trialErr {
 			cfg := sim.TwoDeviceConfig(channel.Dock(), 20, 1.2, 2.5, 0)
 			cfg.Rng = rng
 			cfg.Devices[1].Orient = device.Orientation{
@@ -329,10 +335,12 @@ func Fig14a(opt Options) (map[string][]float64, *stats.Table) {
 				// Facing up also means held near the surface.
 				cfg.Devices[1].Pos.Z = 0.7
 			}
-			return rangeOnce(cfg, sim.MethodDualMic)
-		}))
-		out[c.name] = errs
-		table.Rows = append(table.Rows, []string{c.name, stats.F(stats.Median(errs)), stats.F(stats.Percentile(errs, 95))})
+			r := rangeOnce(cfg, sim.MethodDualMic)
+			return trialErr{err: r.AbsError(), ok: r.Detected}
+		})
+		out[c.name] = sk.Values()
+		qs := sk.Quantiles(50, 95)
+		table.Rows = append(table.Rows, []string{c.name, stats.F(qs[0]), stats.F(qs[1])})
 	}
 	return out, table
 }
@@ -353,16 +361,18 @@ func Fig14b(opt Options) (map[string][]float64, *stats.Table) {
 		Header: []string{"pair", "median (m)", "95th (m)"},
 	}
 	for pi, pair := range pairs {
-		errs := detectedErrors(engine.Map(opt.engine(saltFig14b+int64(pi)), trials, func(_ int, rng *rand.Rand) sim.RangeTrialResult {
+		sk, _ := sketchErrors(opt, saltFig14b+int64(pi), trials, func(_ int, rng *rand.Rand) trialErr {
 			cfg := sim.TwoDeviceConfig(channel.Dock(), 20, 2.5, 2.5, 0)
 			cfg.Rng = rng
 			cfg.Devices[0].Model = models[pair[0]]()
 			cfg.Devices[1].Model = models[pair[1]]()
-			return rangeOnce(cfg, sim.MethodDualMic)
-		}))
+			r := rangeOnce(cfg, sim.MethodDualMic)
+			return trialErr{err: r.AbsError(), ok: r.Detected}
+		})
 		name := pair[0] + "+" + pair[1]
-		out[name] = errs
-		table.Rows = append(table.Rows, []string{name, stats.F(stats.Median(errs)), stats.F(stats.Percentile(errs, 95))})
+		out[name] = sk.Values()
+		qs := sk.Quantiles(50, 95)
+		table.Rows = append(table.Rows, []string{name, stats.F(qs[0]), stats.F(qs[1])})
 	}
 	return out, table
 }
@@ -390,7 +400,9 @@ func Fig15(opt Options) (map[float64][]Fig15Point, *stats.Table) {
 			pt Fig15Point
 			ok bool
 		}
-		res := engine.Map(opt.engine(saltFig15+int64(si)), pings, func(k int, rng *rand.Rand) ping {
+		var pts []Fig15Point
+		errSk := stats.NewSketch()
+		engine.Each(opt.engine(saltFig15+int64(si)), pings, func(k int, rng *rand.Rand) ping {
 			tSec := float64(k) // one ping per second
 			// Back-and-forth between 6 and 18 m with the given speed.
 			span := 12.0
@@ -413,18 +425,18 @@ func Fig15(opt Options) (map[float64][]Fig15Point, *stats.Table) {
 				return ping{}
 			}
 			return ping{pt: Fig15Point{TimeSec: tSec, TrueM: r.TrueM, EstimatedM: r.EstimatedM}, ok: true}
-		})
-		var pts []Fig15Point
-		var errs []float64
-		for _, p := range res {
+		}, func(_ int, p ping) {
 			if p.ok {
 				pts = append(pts, p.pt)
-				errs = append(errs, math.Abs(p.pt.EstimatedM-p.pt.TrueM))
+				e := math.Abs(p.pt.EstimatedM - p.pt.TrueM)
+				errSk.Add(e)
+				opt.observe(e)
 			}
-		}
+		})
 		out[speed] = pts
+		qs := errSk.Quantiles(50, 95)
 		table.Rows = append(table.Rows, []string{
-			stats.F(speed * 100), stats.F(stats.Median(errs)), stats.F(stats.Percentile(errs, 95)),
+			stats.F(speed * 100), stats.F(qs[0]), stats.F(qs[1]),
 			stats.F(float64(len(pts))),
 		})
 	}

@@ -100,6 +100,49 @@ func Mul(a, b *Mat) *Mat {
 	return out
 }
 
+// Reset reshapes m to rows×cols and zeroes its contents, reusing the
+// backing slice when it is large enough — the scratch-reuse primitive for
+// iterative algorithms that would otherwise allocate per iteration.
+func (m *Mat) Reset(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic("matrix: negative dimension")
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	} else {
+		m.Data = m.Data[:n]
+		for i := range m.Data {
+			m.Data[i] = 0
+		}
+	}
+	m.Rows, m.Cols = rows, cols
+}
+
+// MulInto computes a·b into dst (reshaped to fit), reusing dst's backing
+// storage. The accumulation order matches Mul exactly, so results are bit
+// for bit identical. dst must not alias a or b.
+func MulInto(dst, a, b *Mat) *Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("matrix: MulInto shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst.Reset(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			av := a.At(i, k)
+			if av == 0 {
+				continue
+			}
+			rowB := b.Data[k*b.Cols : (k+1)*b.Cols]
+			rowO := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for j, bv := range rowB {
+				rowO[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
 // Transpose returns the transpose of m.
 func Transpose(m *Mat) *Mat {
 	out := New(m.Cols, m.Rows)

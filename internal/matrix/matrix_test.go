@@ -277,3 +277,40 @@ func TestIsSymmetric(t *testing.T) {
 		t.Error("should pass with loose tolerance")
 	}
 }
+
+func TestMulIntoMatchesMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 0}, {-3, 0.5, 4}})
+	b := FromRows([][]float64{{2, 0}, {1, -1}, {0.25, 8}})
+	want := Mul(a, b)
+	var dst Mat
+	got := MulInto(&dst, a, b)
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("shape %dx%d, want %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("element %d: %v != %v", i, got.Data[i], want.Data[i])
+		}
+	}
+	// Reuse with stale contents and a different shape must still match.
+	MulInto(&dst, b, a)
+	want2 := Mul(b, a)
+	for i := range want2.Data {
+		if dst.Data[i] != want2.Data[i] {
+			t.Fatalf("reused dst element %d: %v != %v", i, dst.Data[i], want2.Data[i])
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	m.Reset(1, 3)
+	if m.Rows != 1 || m.Cols != 3 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("Reset left residue at %d: %v", i, v)
+		}
+	}
+}

@@ -147,8 +147,9 @@ func Solve(dist, w [][]float64, opts Options) (Result, error) {
 func solveFrom(dist, w [][]float64, x []geom.Vec2, vInv *matrix.Mat, opts Options) Result {
 	stress := stressOf(dist, w, x)
 	res := Result{Positions: x, Stress: stress}
+	var scr gtScratch
 	for iter := 1; iter <= opts.MaxIter; iter++ {
-		x = guttmanTransform(dist, w, x, vInv)
+		x = guttmanTransform(dist, w, x, vInv, &scr)
 		newStress := stressOf(dist, w, x)
 		res.Positions = x
 		res.Stress = newStress
@@ -179,10 +180,25 @@ func symDist(d [][]float64, i, j int) float64 {
 	return a
 }
 
-// guttmanTransform computes X⁺ = V⁺ B(X) X.
-func guttmanTransform(dist, w [][]float64, x []geom.Vec2, vInv *matrix.Mat) []geom.Vec2 {
+// gtScratch carries guttmanTransform's temporaries across one solveFrom
+// run. The majorization loop is the topology solver's allocation hot spot
+// — every Localize call runs tens of iterations times restarts, and each
+// used to allocate B, two products and a fresh position slice — so the
+// matrices are Reset-reused and positions double-buffer. The buffers
+// alternate, so the output never aliases the configuration being read.
+type gtScratch struct {
+	b, t, xm, nx matrix.Mat
+	pos          [2][]geom.Vec2
+	flip         int
+}
+
+// guttmanTransform computes X⁺ = V⁺ B(X) X. Results are bit-identical to
+// the allocate-per-call version (same fill and accumulation order; see
+// matrix.MulInto).
+func guttmanTransform(dist, w [][]float64, x []geom.Vec2, vInv *matrix.Mat, scr *gtScratch) []geom.Vec2 {
 	n := len(x)
-	b := matrix.New(n, n)
+	b := &scr.b
+	b.Reset(n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i == j {
@@ -201,13 +217,20 @@ func guttmanTransform(dist, w [][]float64, x []geom.Vec2, vInv *matrix.Mat) []ge
 			b.Add(i, i, -val)
 		}
 	}
-	xm := matrix.New(n, 2)
+	xm := &scr.xm
+	xm.Reset(n, 2)
 	for i, p := range x {
 		xm.Set(i, 0, p.X)
 		xm.Set(i, 1, p.Y)
 	}
-	nx := matrix.Mul(matrix.Mul(vInv, b), xm)
-	out := make([]geom.Vec2, n)
+	nx := matrix.MulInto(&scr.nx, matrix.MulInto(&scr.t, vInv, b), xm)
+	out := scr.pos[scr.flip]
+	if cap(out) < n {
+		out = make([]geom.Vec2, n)
+	}
+	out = out[:n]
+	scr.pos[scr.flip] = out
+	scr.flip ^= 1
 	for i := range out {
 		out[i] = geom.Vec2{X: nx.At(i, 0), Y: nx.At(i, 1)}
 	}

@@ -354,6 +354,19 @@ func renderAtFractional(dst, wave []float64, idxF, amp, fs float64) {
 	channel.Render(dst, wave, taps, whole, fs)
 }
 
+// releaseAudio hands every device's stream buffers back to the dsp scratch
+// pool. It runs at trial end — after all receiver processing — and the
+// round's outputs (timestamp tables, distances, depths, TOA indices) hold
+// no references into the streams, so release is safe. setupDevices builds
+// fresh stacks for the next round.
+func (nw *Network) releaseAudio() {
+	for _, d := range nw.devices {
+		if d.stack != nil {
+			d.stack.Release()
+		}
+	}
+}
+
 func (nw *Network) posAt(d *simDevice, t float64) geom.Vec3 {
 	if d.spec.Traj != nil {
 		return d.spec.Traj(t)

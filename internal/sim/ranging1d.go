@@ -76,6 +76,9 @@ func (nw *Network) RangeOnce(method RangingMethod) (RangeTrialResult, error) {
 	if err := nw.setupDevices(dur); err != nil {
 		return RangeTrialResult{}, err
 	}
+	// Trial-end release hook: the exchange's estimates are plain scalars,
+	// so the audio slabs go straight back to the pool.
+	defer nw.releaseAudio()
 	nw.addNoise()
 	if err := nw.calibrateAll(); err != nil {
 		return RangeTrialResult{}, err

@@ -51,6 +51,11 @@ func (nw *Network) RunRound() (*RoundResult, error) {
 	if err := nw.setupDevices(dur); err != nil {
 		return nil, err
 	}
+	// Audio streams are the round's dominant allocation; everything the
+	// caller receives (tables, distances, depths) is index/time arithmetic
+	// with no references into them, so they go back to the pool at round
+	// end and the next trial on this worker reuses the slabs.
+	defer nw.releaseAudio()
 	nw.addNoise()
 	if err := nw.calibrateAll(); err != nil {
 		return nil, err
@@ -215,6 +220,7 @@ func (nw *Network) calibrateAll() error {
 				best, bestIdx = v, k
 			}
 		}
+		dsp.PutF64(corr)
 		if bestIdx < 0 {
 			return fmt.Errorf("sim: calibration not detected on device %d", d.id)
 		}
@@ -588,7 +594,9 @@ func (nw *Network) measureLatency() float64 {
 	return last - t0 + nw.proto.TPacket
 }
 
-// crossCorrPrefix is a local wrapper for calibration detection.
+// crossCorrPrefix is a local wrapper for calibration detection. The result
+// is a pooled slab (stream-sized, one per device per round); callers scan
+// it and hand it back with dsp.PutF64.
 func crossCorrPrefix(stream, template []float64) []float64 {
-	return dsp.NormalizedCrossCorrelate(stream, template)
+	return dsp.NormalizedCrossCorrelatePooled(stream, template)
 }

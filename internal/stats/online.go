@@ -1,0 +1,177 @@
+// Online (streaming) aggregation. The paper's figures are distribution
+// summaries — medians, 95th percentiles, error CDFs — over thousands of
+// Monte-Carlo trials. Collect-then-Percentile pins every trial result in
+// memory until the run ends; the types here consume results one at a time
+// from an engine.Stream sink, so trial counts scale past memory while the
+// summaries stay exact (Welford) or boundedly approximate (Sketch beyond
+// its exact threshold).
+
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Welford is an online mean/variance accumulator (Welford's algorithm):
+// O(1) memory, numerically stable, exact mean and sample variance for any
+// stream length. The zero value is ready to use. Results depend on
+// insertion order only through floating-point rounding; feed it from an
+// order-deterministic source (engine.StreamOrdered, or any serial loop)
+// when bit-reproducibility across worker counts matters.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add consumes one observation.
+func (w *Welford) Add(v float64) {
+	w.n++
+	d := v - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (v - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the running mean (NaN for an empty accumulator).
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Var returns the running sample variance (NaN for n < 2).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return math.NaN()
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the running sample standard deviation (NaN for n < 2).
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Merge folds another accumulator into w (Chan et al. parallel update),
+// for combining per-shard accumulators.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	w.n = n
+}
+
+// DefaultSketchSize is the exact-mode threshold and reservoir capacity of
+// NewSketch. Default experiment trial counts sit far below it, so figure
+// outputs computed through a Sketch are bit-identical to the legacy
+// collect-then-Percentile path; past the threshold memory stays fixed and
+// quantiles become reservoir estimates.
+const DefaultSketchSize = 8192
+
+// sketchSeed seeds every reservoir identically, so a Sketch is a pure
+// function of its insertion sequence (no global randomness).
+const sketchSeed = 0x5ce7c4a1d
+
+// Sketch is a fixed-memory streaming quantile summary with an exact-mode
+// fallback: up to its capacity it retains every value and answers
+// quantiles exactly (matching Percentile bit for bit); beyond it, it
+// degrades to uniform reservoir sampling (Vitter's algorithm R), keeping
+// an unbiased fixed-size sample whose quantile error shrinks with
+// capacity. Mean and standard deviation are exact at any count: two-pass
+// over the retained values in exact mode, Welford beyond.
+//
+// A Sketch is deterministic given its insertion order; deliver from
+// engine.StreamOrdered to keep results identical across worker counts.
+// Not safe for concurrent use (engine sinks are serialized).
+type Sketch struct {
+	cap  int
+	vals []float64
+	w    Welford
+	rng  *rand.Rand
+}
+
+// NewSketch returns a Sketch with DefaultSketchSize capacity.
+func NewSketch() *Sketch { return NewSketchSize(DefaultSketchSize) }
+
+// NewSketchSize returns a Sketch retaining at most capacity values.
+// capacity < 2 is raised to 2.
+func NewSketchSize(capacity int) *Sketch {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &Sketch{cap: capacity}
+}
+
+// Add consumes one observation.
+func (s *Sketch) Add(v float64) {
+	s.w.Add(v)
+	if len(s.vals) < s.cap {
+		s.vals = append(s.vals, v)
+		return
+	}
+	// Reservoir replacement: observation n survives with probability cap/n.
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(sketchSeed))
+	}
+	if j := s.rng.Int63n(s.w.n); j < int64(s.cap) {
+		s.vals[j] = v
+	}
+}
+
+// Count returns the number of observations consumed.
+func (s *Sketch) Count() int64 { return s.w.n }
+
+// Exact reports whether every observation is still retained, i.e. whether
+// Quantile answers are exact rather than reservoir estimates.
+func (s *Sketch) Exact() bool { return s.w.n <= int64(s.cap) }
+
+// Quantile returns the p-th percentile (0–100) of the stream: exact in
+// exact mode, a reservoir estimate beyond. NaN for an empty sketch.
+func (s *Sketch) Quantile(p float64) float64 {
+	qs := s.Quantiles(p)
+	return qs[0]
+}
+
+// Quantiles returns several percentiles with a single sort of the retained
+// sample (the streaming analogue of Summaries).
+func (s *Sketch) Quantiles(ps ...float64) []float64 {
+	return Summaries(s.vals, ps...)
+}
+
+// Mean returns the stream mean: in exact mode the two-pass mean of the
+// retained values (bit-identical to Mean over the collected slice),
+// otherwise the Welford running mean over all observations.
+func (s *Sketch) Mean() float64 {
+	if s.Exact() {
+		return Mean(s.vals)
+	}
+	return s.w.Mean()
+}
+
+// Std returns the stream sample standard deviation, exact at any count
+// (two-pass in exact mode, Welford beyond).
+func (s *Sketch) Std() float64 {
+	if s.Exact() {
+		return Std(s.vals)
+	}
+	return s.w.Std()
+}
+
+// Values returns a copy of the retained sample in insertion order: the
+// complete series in exact mode, the current reservoir beyond. Callers
+// that need the raw series (tests, benches, CDF plots) read it from here;
+// its size is bounded by the sketch capacity regardless of stream length.
+func (s *Sketch) Values() []float64 {
+	return append([]float64(nil), s.vals...)
+}

@@ -14,12 +14,22 @@ func Median(xs []float64) float64 { return Percentile(xs, 50) }
 
 // Percentile returns the p-th percentile (0–100) using linear
 // interpolation between order statistics. NaN for empty input.
+//
+// Each call copies and sorts xs; when several percentiles of the same
+// sample are needed, Summaries sorts once.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+// percentileSorted interpolates the p-th percentile over already-sorted,
+// non-empty s. All percentile paths (Percentile, Summaries, Sketch) share
+// this so their answers agree bit for bit.
+func percentileSorted(s []float64, p float64) float64 {
 	if p <= 0 {
 		return s[0]
 	}
@@ -34,6 +44,27 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	frac := rank - float64(lo)
 	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Summaries returns the requested percentiles (0–100) of xs with a single
+// copy-and-sort, hoisting the per-call sort out of the repeated-percentile
+// pattern ("median and 95th of the same series") that dominates experiment
+// table assembly. Results match Percentile bit for bit. Empty input yields
+// all-NaN.
+func Summaries(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	for i, p := range ps {
+		out[i] = percentileSorted(s, p)
+	}
+	return out
 }
 
 // Mean returns the arithmetic mean (NaN for empty input).
