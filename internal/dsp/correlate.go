@@ -2,8 +2,13 @@ package dsp
 
 import (
 	"math"
-	"math/cmplx"
 )
+
+// directCorrMin is the direct/FFT crossover: templates shorter than this
+// correlate faster with the O(len(x)·len(h)) sliding dot product than
+// with padded transforms. Shared by CrossCorrelate and Matcher so both
+// pick identical paths for identical shapes.
+const directCorrMin = 64
 
 // CrossCorrelate computes the full linear cross-correlation
 //
@@ -13,6 +18,9 @@ import (
 // correlation lags only). It picks the FFT path when it pays off.
 // The result has length len(x)-len(h)+1; it returns nil when len(h) > len(x)
 // or either input is empty.
+//
+// Callers that correlate the same h against many streams should build a
+// Matcher instead: it caches the template spectrum across calls.
 func CrossCorrelate(x, h []float64) []float64 {
 	return crossCorrelate(x, h, false)
 }
@@ -29,9 +37,7 @@ func crossCorrelate(x, h []float64, pooled bool) []float64 {
 	if len(h) == 0 || len(x) == 0 || len(h) > len(x) {
 		return nil
 	}
-	// Cost heuristic: direct is O(len(x)*len(h)); FFT is ~3 transforms of
-	// the padded length. Small templates are faster directly.
-	if len(h) < 64 {
+	if len(h) < directCorrMin {
 		return xcorrDirect(x, h, pooled)
 	}
 	return xcorrFFT(x, h, pooled)
@@ -59,29 +65,42 @@ func xcorrDirect(x, h []float64, pooled bool) []float64 {
 	return out
 }
 
+// rfftApplySpectrum multiplies pad by a precomputed half spectrum in the
+// frequency domain, in place: forward RFFT of pad, pointwise multiply by
+// spec (len(pad)/2+1 bins), inverse back into pad. This is the one
+// circular-filtering core shared by CrossCorrelate, Convolve, and both
+// Matcher paths; pad carries the zero-padding invariant, spec carries
+// any conjugation.
+func rfftApplySpectrum(pad []float64, spec []complex128) {
+	fx := GetC128(len(pad)/2 + 1)
+	defer PutC128(fx)
+	RFFT(fx, pad)
+	for i, hv := range spec {
+		fx[i] *= hv
+	}
+	IRFFT(pad, fx)
+}
+
+// xcorrFFT correlates via two half-cost real forward transforms, a
+// pointwise multiply against the conjugated template spectrum, and one
+// inverse real transform of the padded length.
 func xcorrFFT(x, h []float64, pooled bool) []float64 {
 	m := NextPow2(len(x) + len(h) - 1)
-	fx := GetC128(m)
-	fh := GetC128(m)
-	defer PutC128(fx)
+	pad := GetF64(m)
+	defer PutF64(pad)
+	fh := GetC128(m/2 + 1)
 	defer PutC128(fh)
-	for i, v := range x {
-		fx[i] = complex(v, 0)
+	copy(pad, h)
+	RFFT(fh, pad)
+	for i, v := range fh {
+		fh[i] = complex(real(v), -imag(v)) // conj(H)
 	}
-	for i, v := range h {
-		fh[i] = complex(v, 0)
-	}
-	fftPow2(fx, false)
-	fftPow2(fh, false)
-	for i := range fx {
-		fx[i] *= cmplx.Conj(fh[i])
-	}
-	fftPow2(fx, true)
-	inv := 1 / float64(m)
+	// len(h) <= len(x) (caller-checked), so copying x fully overwrites
+	// h's samples and the zeroed tail beyond len(x) is untouched.
+	copy(pad, x)
+	rfftApplySpectrum(pad, fh)
 	out := allocResult(len(x)-len(h)+1, pooled)
-	for k := range out {
-		out[k] = real(fx[k]) * inv
-	}
+	copy(out, pad)
 	return out
 }
 
@@ -108,28 +127,7 @@ func normalizedCrossCorrelate(x, h []float64, pooled bool) []float64 {
 	for _, v := range h {
 		eh += v * v
 	}
-	if eh == 0 {
-		for i := range r {
-			r[i] = 0
-		}
-		return r
-	}
-	// Sliding window energy of x via prefix sums (pooled scratch).
-	prefix := GetF64(len(x) + 1)
-	defer PutF64(prefix)
-	for i, v := range x {
-		prefix[i+1] = prefix[i] + v*v
-	}
-	const eps = 1e-30
-	for k := range r {
-		ex := prefix[k+len(h)] - prefix[k]
-		den := math.Sqrt(ex * eh)
-		if den < eps {
-			r[k] = 0
-		} else {
-			r[k] /= den
-		}
-	}
+	normalizeByWindowEnergy(r, x, len(h), eh)
 	return r
 }
 
@@ -153,7 +151,9 @@ func SegmentCorrelation(a, b []float64) float64 {
 }
 
 // AutoCorrelate computes the biased sample autocorrelation of x for lags
-// [0, maxLag]. Lag 0 is the signal energy / N.
+// [0, maxLag]. Lag 0 is the signal energy / N. Large len(x)·maxLag
+// products switch to an FFT power-spectrum path, mirroring
+// CrossCorrelate's direct/FFT split.
 func AutoCorrelate(x []float64, maxLag int) []float64 {
 	if maxLag >= len(x) {
 		maxLag = len(x) - 1
@@ -162,6 +162,14 @@ func AutoCorrelate(x []float64, maxLag int) []float64 {
 		return nil
 	}
 	out := make([]float64, maxLag+1)
+	// Crossover: direct is O(len(x)·maxLag) multiplies; the FFT path is
+	// three half-length transforms of NextPow2(len(x)+maxLag). Short lag
+	// ranges stay direct regardless of len(x) — the padded transform
+	// would process the whole signal to produce a handful of lags.
+	if maxLag >= directCorrMin && len(x)*(maxLag+1) >= 1<<18 {
+		autoCorrFFT(x, out)
+		return out
+	}
 	n := float64(len(x))
 	for lag := 0; lag <= maxLag; lag++ {
 		var s float64
@@ -173,8 +181,31 @@ func AutoCorrelate(x []float64, maxLag int) []float64 {
 	return out
 }
 
+// autoCorrFFT fills out (len maxLag+1) with the biased autocorrelation of
+// x via the power spectrum: pad to kill circular wrap over the requested
+// lags, transform, square magnitudes, invert.
+func autoCorrFFT(x, out []float64) {
+	m := NextPow2(len(x) + len(out))
+	pad := GetF64(m)
+	defer PutF64(pad)
+	spec := GetC128(m/2 + 1)
+	defer PutC128(spec)
+	copy(pad, x)
+	RFFT(spec, pad)
+	for i, v := range spec {
+		spec[i] = complex(real(v)*real(v)+imag(v)*imag(v), 0)
+	}
+	IRFFT(pad, spec)
+	n := float64(len(x))
+	for lag := range out {
+		out[lag] = pad[lag] / n
+	}
+}
+
 // ComplexConvolve computes the circular convolution of two equal-length
 // complex vectors using the FFT. Both inputs are left unmodified.
+// NewPlan draws on the package Bluestein cache, so repeated calls at one
+// length skip the chirp setup entirely.
 func ComplexConvolve(a, b []complex128) []complex128 {
 	if len(a) != len(b) {
 		panic("dsp: ComplexConvolve length mismatch")
@@ -185,7 +216,9 @@ func ComplexConvolve(a, b []complex128) []complex128 {
 	}
 	p := NewPlan(n)
 	fa := append([]complex128(nil), a...)
-	fb := append([]complex128(nil), b...)
+	fb := GetC128(n)
+	defer PutC128(fb)
+	copy(fb, b)
 	p.Forward(fa)
 	p.Forward(fb)
 	for i := range fa {
@@ -196,32 +229,23 @@ func ComplexConvolve(a, b []complex128) []complex128 {
 }
 
 // Convolve computes the full linear convolution of x and k
-// (length len(x)+len(k)-1) via the FFT.
+// (length len(x)+len(k)-1) via half-cost real transforms.
 func Convolve(x, k []float64) []float64 {
 	if len(x) == 0 || len(k) == 0 {
 		return nil
 	}
 	m := NextPow2(len(x) + len(k) - 1)
-	fx := GetC128(m)
-	fk := GetC128(m)
-	defer PutC128(fx)
+	pad := GetF64(m)
+	defer PutF64(pad)
+	fk := GetC128(m/2 + 1)
 	defer PutC128(fk)
-	for i, v := range x {
-		fx[i] = complex(v, 0)
+	copy(pad, k)
+	RFFT(fk, pad)
+	for i := copy(pad, x); i < len(k); i++ {
+		pad[i] = 0 // clear k's tail when k is longer than x
 	}
-	for i, v := range k {
-		fk[i] = complex(v, 0)
-	}
-	fftPow2(fx, false)
-	fftPow2(fk, false)
-	for i := range fx {
-		fx[i] *= fk[i]
-	}
-	fftPow2(fx, true)
-	inv := 1 / float64(m)
+	rfftApplySpectrum(pad, fk)
 	out := make([]float64, len(x)+len(k)-1)
-	for i := range out {
-		out[i] = real(fx[i]) * inv
-	}
+	copy(out, pad)
 	return out
 }

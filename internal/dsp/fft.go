@@ -1,10 +1,20 @@
 // Package dsp implements the signal-processing primitives the positioning
-// system is built on: FFTs of arbitrary length, correlation, filtering,
-// windowing, resampling and peak analysis.
+// system is built on: FFTs of arbitrary length, real-input transforms,
+// correlation, filtering, windowing, resampling and peak analysis.
 //
 // Everything is written against float64/complex128 slices so the receiver
-// pipeline can run allocation-free on hot paths: the FFT planner hands out
-// reusable scratch, and correlation functions accept destination buffers.
+// pipeline can run allocation-free on hot paths: transforms draw scratch
+// from the package pool, twiddle/bit-reversal tables and Bluestein chirp
+// setups are cached package-wide per size, and correlation functions
+// accept destination buffers.
+//
+// The two transform tiers are FFT/IFFT (complex, power-of-two, shared
+// cached twiddles) and RFFT/IRFFT (real input/output at half the cost);
+// Plan handles arbitrary lengths via Bluestein. For repeated matched
+// filtering against one known template — the receiver's dominant
+// workload — Matcher precomputes the template spectrum once and reuses it
+// for every stream (see its doc for when to prefer it over the one-shot
+// CrossCorrelate helpers).
 package dsp
 
 import (
@@ -12,6 +22,7 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync"
 )
 
 // FFT computes the in-place decimation-in-time radix-2 FFT of x.
@@ -49,53 +60,93 @@ func NextPow2(n int) int {
 	if IsPow2(n) {
 		return n
 	}
-	return 1 << bits.Len(uint(n))
+	c := bits.Len(uint(n))
+	if c >= bits.UintSize-1 {
+		panic(fmt.Sprintf("dsp: NextPow2(%d) overflows int", n))
+	}
+	return 1 << c
 }
 
-// fftPow2 is the shared radix-2 kernel. inverse selects conjugated twiddles.
+// fftPow2 is the shared radix-2 kernel. All constants come from the
+// package twiddle/bit-reversal tables (see tables.go); inverse selects
+// conjugated twiddles via a sign flip on the imaginary part.
 func fftPow2(x []complex128, inverse bool) {
 	n := len(x)
 	if n <= 1 {
 		return
 	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.Len(uint(n-1)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
+	for i, rj := range revFor(n) {
+		if j := int(rj); j > i {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	// Butterflies.
+	sign := 1.0
+	if inverse {
+		sign = -1.0
+	}
+	w := twiddlesFor(n)
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
-		ang := 2 * math.Pi / float64(size)
-		if !inverse {
-			ang = -ang
-		}
-		wStep := cmplx.Rect(1, ang)
+		stride := n / size
 		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wStep
+			ti := 0
+			for k := start; k < start+half; k++ {
+				wk := complex(real(w[ti]), sign*imag(w[ti]))
+				a := x[k]
+				b := x[k+half] * wk
+				x[k] = a + b
+				x[k+half] = a - b
+				ti += stride
 			}
 		}
 	}
 }
 
-// Plan caches the Bluestein chirp and scratch buffers for repeated
-// transforms of one fixed, arbitrary length. A Plan is not safe for
-// concurrent use; receivers keep one per goroutine.
-type Plan struct {
-	n     int          // transform length
+// bluestein is the immutable chirp setup for one non-power-of-two
+// transform length: computed once, cached package-wide, and shared by
+// every Plan of that length (the chirp FFT dominated NewPlan's cost when
+// each caller rebuilt it).
+type bluestein struct {
 	m     int          // power-of-two convolution length (>= 2n-1)
 	chirp []complex128 // b[k] = exp(+i*pi*k^2/n), k in [0,n)
 	fb    []complex128 // FFT of zero-padded, wrapped conjugate chirp
-	a     []complex128 // scratch of length m
+}
+
+var bluesteinCache sync.Map // length n -> *bluestein
+
+func bluesteinFor(n int) *bluestein {
+	if v, ok := bluesteinCache.Load(n); ok {
+		return v.(*bluestein)
+	}
+	bs := &bluestein{m: NextPow2(2*n - 1)}
+	bs.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// Use k^2 mod 2n to keep the angle argument small and exact.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		bs.chirp[k] = cmplx.Rect(1, math.Pi*float64(kk)/float64(n))
+	}
+	bs.fb = make([]complex128, bs.m)
+	for k := 0; k < n; k++ {
+		c := bs.chirp[k] // b[k]
+		bs.fb[k] = c
+		if k > 0 {
+			bs.fb[bs.m-k] = c
+		}
+	}
+	fftPow2(bs.fb, false)
+	// A racing builder computes bit-identical tables, so either winner is
+	// fine; LoadOrStore just keeps one alive.
+	actual, _ := bluesteinCache.LoadOrStore(n, bs)
+	return actual.(*bluestein)
+}
+
+// Plan performs repeated transforms of one fixed, arbitrary length. The
+// Bluestein chirp setup is cached package-wide per length and the
+// convolution scratch comes from the shared pool per call, so plans are
+// cheap to create and safe for concurrent use.
+type Plan struct {
+	n  int        // transform length
+	bs *bluestein // nil for power-of-two lengths
 }
 
 // NewPlan builds a transform plan for length n (n >= 1).
@@ -104,26 +155,9 @@ func NewPlan(n int) *Plan {
 		panic("dsp: NewPlan length must be positive")
 	}
 	p := &Plan{n: n}
-	if IsPow2(n) {
-		return p
+	if !IsPow2(n) {
+		p.bs = bluesteinFor(n)
 	}
-	p.m = NextPow2(2*n - 1)
-	p.chirp = make([]complex128, n)
-	for k := 0; k < n; k++ {
-		// Use k^2 mod 2n to keep the angle argument small and exact.
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		p.chirp[k] = cmplx.Rect(1, math.Pi*float64(kk)/float64(n))
-	}
-	p.fb = make([]complex128, p.m)
-	for k := 0; k < n; k++ {
-		c := p.chirp[k] // b[k]
-		p.fb[k] = c
-		if k > 0 {
-			p.fb[p.m-k] = c
-		}
-	}
-	fftPow2(p.fb, false)
-	p.a = make([]complex128, p.m)
 	return p
 }
 
@@ -140,7 +174,7 @@ func (p *Plan) transform(x []complex128, inverse bool) {
 	if len(x) != p.n {
 		panic(fmt.Sprintf("dsp: plan length %d, input length %d", p.n, len(x)))
 	}
-	if p.m == 0 { // power-of-two fast path
+	if p.bs == nil { // power-of-two fast path
 		fftPow2(x, inverse)
 		if inverse {
 			s := complex(1/float64(p.n), 0)
@@ -150,7 +184,9 @@ func (p *Plan) transform(x []complex128, inverse bool) {
 		}
 		return
 	}
-	n, m := p.n, p.m
+	n, m := p.n, p.bs.m
+	a := GetC128(m)
+	defer PutC128(a)
 	// Bluestein: X[k] = b*[k] * ( (x*b~) ⊛ b )[k] with b~[k] = conj(b[k]).
 	// For the inverse transform run the forward machinery on conjugated
 	// input and conjugate the result (DFT(conj(x))* = IDFT(x)*N).
@@ -159,19 +195,16 @@ func (p *Plan) transform(x []complex128, inverse bool) {
 		if inverse {
 			v = cmplx.Conj(v)
 		}
-		p.a[i] = v * cmplx.Conj(p.chirp[i])
+		a[i] = v * cmplx.Conj(p.bs.chirp[i])
 	}
-	for i := n; i < m; i++ {
-		p.a[i] = 0
-	}
-	fftPow2(p.a, false)
+	fftPow2(a, false)
 	for i := 0; i < m; i++ {
-		p.a[i] *= p.fb[i]
+		a[i] *= p.bs.fb[i]
 	}
-	fftPow2(p.a, true)
+	fftPow2(a, true)
 	invM := complex(1/float64(m), 0)
 	for k := 0; k < n; k++ {
-		v := p.a[k] * invM * cmplx.Conj(p.chirp[k])
+		v := a[k] * invM * cmplx.Conj(p.bs.chirp[k])
 		if inverse {
 			v = cmplx.Conj(v) * complex(1/float64(n), 0)
 		}
@@ -180,24 +213,40 @@ func (p *Plan) transform(x []complex128, inverse bool) {
 }
 
 // FFTReal transforms a real signal, returning a freshly allocated complex
-// spectrum of the same length (convenience wrapper; hot paths use Plan).
+// spectrum of the same length (convenience wrapper; hot paths use Plan or
+// RFFT). Power-of-two lengths go through the half-size real transform
+// and are mirrored out by conjugate symmetry.
 func FFTReal(x []float64) []complex128 {
-	c := make([]complex128, len(x))
+	n := len(x)
+	c := make([]complex128, n)
+	if IsPow2(n) && n > 1 {
+		spec := GetC128(n/2 + 1)
+		RFFT(spec, x)
+		copy(c, spec)
+		for k := 1; k < n/2; k++ {
+			c[n-k] = cmplx.Conj(spec[k])
+		}
+		PutC128(spec)
+		return c
+	}
 	for i, v := range x {
 		c[i] = complex(v, 0)
 	}
-	NewPlan(len(x)).Forward(c)
+	// NewPlan is a cached-setup lookup (see bluesteinFor), so per-call
+	// plan construction costs nothing measurable.
+	NewPlan(n).Forward(c)
 	return c
 }
 
 // IFFTReal inverts a spectrum and returns the real part of the result.
 func IFFTReal(spec []complex128) []float64 {
-	c := make([]complex128, len(spec))
+	c := GetC128(len(spec))
 	copy(c, spec)
 	NewPlan(len(c)).Inverse(c)
 	out := make([]float64, len(c))
 	for i, v := range c {
 		out[i] = real(v)
 	}
+	PutC128(c)
 	return out
 }

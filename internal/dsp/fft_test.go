@@ -2,6 +2,7 @@ package dsp
 
 import (
 	"math"
+	"math/bits"
 	"math/cmplx"
 	"math/rand"
 	"testing"
@@ -142,6 +143,44 @@ func TestNextPow2(t *testing.T) {
 		if got := NextPow2(in); got != want {
 			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
 		}
+	}
+}
+
+func TestNextPow2OverflowPanics(t *testing.T) {
+	// The largest representable power of two must pass through unharmed...
+	maxPow2 := 1 << (bits.UintSize - 2)
+	if got := NextPow2(maxPow2); got != maxPow2 {
+		t.Fatalf("NextPow2(max pow2) = %d, want identity", got)
+	}
+	// ...and anything beyond it must panic instead of silently wrapping to
+	// a negative (1 << 63) length.
+	for _, n := range []int{maxPow2 + 1, math.MaxInt} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NextPow2(%d) should panic, not overflow", n)
+				}
+			}()
+			NextPow2(n)
+		}()
+	}
+}
+
+func TestNewPlanSharesBluesteinSetup(t *testing.T) {
+	// Two plans of one length must share the cached chirp setup (the
+	// expensive part); the transforms they run must stay identical.
+	p1, p2 := NewPlan(1920), NewPlan(1920)
+	if p1.bs == nil || p1.bs != p2.bs {
+		t.Fatal("plans of equal length should share the cached Bluestein setup")
+	}
+	r := rand.New(rand.NewSource(9))
+	x := randComplex(r, 1920)
+	a := append([]complex128(nil), x...)
+	b := append([]complex128(nil), x...)
+	p1.Forward(a)
+	p2.Forward(b)
+	if e := maxErrC(a, b); e > 0 {
+		t.Fatalf("shared-setup plans diverged, err=%g", e)
 	}
 }
 

@@ -1,0 +1,208 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+)
+
+// Matcher is a precomputed matched filter for one correlation template.
+//
+// One-shot CrossCorrelate pays for a forward transform of the template on
+// every call even though the receiver correlates the same preamble
+// against every stream it ever sees. A Matcher transforms the template
+// once per padded FFT length, caches the conjugated spectrum, and folds
+// the template energy into the normalization, so each correlation costs
+// one forward RFFT of the stream, one pointwise multiply, and one
+// inverse — down from three transforms plus a template-energy pass.
+//
+// Build one Matcher per template and share it freely: the spectrum cache
+// is guarded by a read-write mutex, cached spectra are immutable after
+// publication, and the FFT kernel itself only reads shared tables, so
+// concurrent Correlate calls from engine workers are safe. For very long
+// streams the FFT runs overlap-save in fixed-size blocks, bounding
+// scratch at the block length instead of the padded stream length.
+//
+// Use a Matcher whenever the template outlives a single call (preamble
+// detection, calibration chirps, baseline templates); use the package
+// CrossCorrelate helpers for ad-hoc one-off pairs.
+type Matcher struct {
+	h      []float64 // private copy of the template
+	energy float64   // Σ h² — pre-folded normalization energy
+
+	mu    sync.RWMutex
+	specs map[int][]complex128 // padded length m -> conj(RFFT(h, m)), read-only
+}
+
+// NewMatcher builds a matcher around a copy of template.
+func NewMatcher(template []float64) *Matcher {
+	h := append([]float64(nil), template...)
+	var e float64
+	for _, v := range h {
+		e += v * v
+	}
+	return &Matcher{h: h, energy: e, specs: make(map[int][]complex128)}
+}
+
+// Template returns the matcher's internal template copy. Treat it as
+// read-only; it is shared with every spectrum the matcher has cached.
+func (mt *Matcher) Template() []float64 { return mt.h }
+
+// TemplateLen returns the template length in samples.
+func (mt *Matcher) TemplateLen() int { return len(mt.h) }
+
+// spectrum returns the conjugated template spectrum at padded FFT length
+// m (a power of two >= len(h)), computing and caching it on first use.
+func (mt *Matcher) spectrum(m int) []complex128 {
+	mt.mu.RLock()
+	s := mt.specs[m]
+	mt.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	if s := mt.specs[m]; s != nil {
+		return s
+	}
+	pad := GetF64(m)
+	copy(pad, mt.h)
+	s = make([]complex128, m/2+1)
+	RFFT(s, pad)
+	PutF64(pad)
+	for i := range s {
+		s[i] = cmplx.Conj(s[i])
+	}
+	mt.specs[m] = s
+	return s
+}
+
+// CrossCorrelate computes the valid-lag cross-correlation of the template
+// against x (see the package CrossCorrelate for the exact definition).
+func (mt *Matcher) CrossCorrelate(x []float64) []float64 {
+	return mt.correlate(x, false, false)
+}
+
+// CrossCorrelatePooled is CrossCorrelate with the result drawn from the
+// package scratch pool; release with PutF64.
+func (mt *Matcher) CrossCorrelatePooled(x []float64) []float64 {
+	return mt.correlate(x, false, true)
+}
+
+// NormalizedCrossCorrelate computes the cross-correlation normalized by
+// the (precomputed) template energy and the local window energy of x, so
+// the output lies in [-1, 1] regardless of signal scale.
+func (mt *Matcher) NormalizedCrossCorrelate(x []float64) []float64 {
+	return mt.correlate(x, true, false)
+}
+
+// NormalizedCrossCorrelatePooled is NormalizedCrossCorrelate with the
+// result drawn from the package scratch pool; release with PutF64.
+func (mt *Matcher) NormalizedCrossCorrelatePooled(x []float64) []float64 {
+	return mt.correlate(x, true, true)
+}
+
+func (mt *Matcher) correlate(x []float64, normalized, pooled bool) []float64 {
+	if len(mt.h) == 0 || len(x) == 0 || len(mt.h) > len(x) {
+		return nil
+	}
+	var out []float64
+	switch {
+	case len(mt.h) < directCorrMin:
+		out = xcorrDirect(x, mt.h, pooled)
+	default:
+		out = mt.corrFFT(x, pooled)
+	}
+	if normalized {
+		normalizeByWindowEnergy(out, x, len(mt.h), mt.energy)
+	}
+	return out
+}
+
+// osBlockFactor sizes the overlap-save FFT block relative to the
+// template: NextPow2(osBlockFactor·len(h)) keeps >= ~87% of each block as
+// valid output. Streams whose one-shot padded length fits within two
+// blocks transform in one shot (fewer total butterflies); beyond that the
+// blocked path bounds scratch and wins on cache locality.
+const osBlockFactor = 8
+
+func (mt *Matcher) blockLen() int {
+	return NextPow2(osBlockFactor * len(mt.h))
+}
+
+func (mt *Matcher) corrFFT(x []float64, pooled bool) []float64 {
+	oneShot := NextPow2(len(x) + len(mt.h) - 1)
+	if block := mt.blockLen(); oneShot > 2*block {
+		return mt.corrOverlapSave(x, block, pooled)
+	}
+	out := allocResult(len(x)-len(mt.h)+1, pooled)
+	pad := GetF64(oneShot)
+	defer PutF64(pad)
+	copy(pad, x)
+	rfftApplySpectrum(pad, mt.spectrum(oneShot))
+	copy(out, pad)
+	return out
+}
+
+// corrOverlapSave computes the same valid-lag correlation in fixed-size
+// blocks: each block transforms blockLen samples of x and keeps the first
+// blockLen-len(h)+1 lags, which are free of circular wrap by
+// construction. Scratch stays bounded at the block length however long
+// the stream is.
+func (mt *Matcher) corrOverlapSave(x []float64, blockLen int, pooled bool) []float64 {
+	hlen := len(mt.h)
+	nOut := len(x) - hlen + 1
+	valid := blockLen - hlen + 1
+	out := allocResult(nOut, pooled)
+	spec := mt.spectrum(blockLen)
+	pad := GetF64(blockLen)
+	defer PutF64(pad)
+	for p := 0; p < nOut; p += valid {
+		end := p + blockLen
+		if end > len(x) {
+			end = len(x)
+		}
+		n := copy(pad, x[p:end])
+		for i := n; i < blockLen; i++ {
+			pad[i] = 0
+		}
+		rfftApplySpectrum(pad, spec)
+		take := valid
+		if p+take > nOut {
+			take = nOut - p
+		}
+		copy(out[p:p+take], pad[:take])
+	}
+	return out
+}
+
+// normalizeByWindowEnergy divides each correlation lag by
+// sqrt(E_window · eh): the sliding window energy of x (via prefix sums)
+// times the precomputed template energy. Windows of (near-)zero energy
+// yield 0. Shared by Matcher and the one-shot NormalizedCrossCorrelate.
+func normalizeByWindowEnergy(r, x []float64, hlen int, eh float64) {
+	if r == nil {
+		return
+	}
+	if eh == 0 {
+		for i := range r {
+			r[i] = 0
+		}
+		return
+	}
+	prefix := GetF64(len(x) + 1)
+	defer PutF64(prefix)
+	for i, v := range x {
+		prefix[i+1] = prefix[i] + v*v
+	}
+	const eps = 1e-30
+	for k := range r {
+		ex := prefix[k+hlen] - prefix[k]
+		den := math.Sqrt(ex * eh)
+		if den < eps {
+			r[k] = 0
+		} else {
+			r[k] /= den
+		}
+	}
+}

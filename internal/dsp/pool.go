@@ -5,13 +5,16 @@ import (
 	"sync"
 )
 
-// Scratch pooling for the hot DSP allocations. The FFT-based correlation
-// and convolution paths burn one or two padded complex buffers per call,
-// and the receiver pipeline calls them thousands of times per simulated
-// round; under the parallel trial engine every worker hammers them at
-// once. Buffers are pooled in power-of-two size classes so a worker
-// steady-states at zero allocations regardless of which transform lengths
-// its scenarios need.
+// Scratch pooling for the hot DSP allocations. The real-FFT correlation
+// and convolution paths burn a padded real buffer plus one or two
+// half-spectrum complex buffers (m/2+1 bins) per call, and the receiver
+// pipeline calls them thousands of times per simulated round; under the
+// parallel trial engine every worker hammers them at once. Buffers are
+// pooled in power-of-two size classes so a worker steady-states at zero
+// allocations regardless of which transform lengths its scenarios need.
+// The m/2+1 spectrum shape lands in the same class as a length-m buffer
+// (capacity rounds up), so full-length and spectrum scratch share one
+// pool per transform size instead of fragmenting into separate ones.
 //
 // Slices handed out are zeroed, because the transforms rely on zero
 // padding beyond the payload. Returning a slice to the pool is always

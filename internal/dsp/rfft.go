@@ -1,0 +1,91 @@
+package dsp
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// RFFT computes the non-negative-frequency half of the DFT of a real
+// signal whose length n is a power of two, writing bins 0..n/2 into dst
+// (len(dst) must be n/2+1). The remaining bins follow from conjugate
+// symmetry: X[n-k] = conj(X[k]).
+//
+// The transform packs adjacent sample pairs into an n/2-point complex
+// FFT and untangles the even/odd spectra with one pass over the shared
+// twiddle table, so a real transform costs roughly half its complex
+// counterpart — the reason CrossCorrelate, Convolve, AutoCorrelate and
+// Matcher all run on this path. x is left unmodified.
+func RFFT(dst []complex128, x []float64) {
+	n := len(x)
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("dsp: RFFT length %d is not a power of two", n))
+	}
+	if len(dst) != n/2+1 {
+		panic(fmt.Sprintf("dsp: RFFT needs %d output bins, got %d", n/2+1, len(dst)))
+	}
+	if n == 1 {
+		dst[0] = complex(x[0], 0)
+		return
+	}
+	h := n / 2
+	z := GetC128(h)
+	defer PutC128(z)
+	for j := 0; j < h; j++ {
+		z[j] = complex(x[2*j], x[2*j+1])
+	}
+	fftPow2(z, false)
+	// Untangle: with E/O the half-length spectra of the even/odd
+	// subsequences, z[k] = E[k] + i·O[k] and X[k] = E[k] + w^k·O[k]
+	// (w = e^{-2πi/n}); the mirror bin is X[h-k] = conj(E[k] - w^k·O[k]).
+	dst[0] = complex(real(z[0])+imag(z[0]), 0)
+	dst[h] = complex(real(z[0])-imag(z[0]), 0)
+	w := twiddlesFor(n) // w[k] = e^{-2πik/n}
+	for k := 1; 2*k <= h; k++ {
+		zk, zc := z[k], cmplx.Conj(z[h-k])
+		e := (zk + zc) * complex(0.5, 0)
+		o := (zk - zc) * complex(0, -0.5) // (zk - zc) / 2i
+		t := w[k] * o
+		dst[k] = e + t
+		dst[h-k] = cmplx.Conj(e - t)
+	}
+}
+
+// IRFFT inverts an RFFT spectrum (bins 0..n/2, len(spec) = n/2+1) back
+// into the length-n real signal, n = len(dst) a power of two. Only the
+// real parts of spec[0] and spec[n/2] participate, matching the conjugate
+// symmetry of a real signal's spectrum. spec is left unmodified. The
+// result includes the full 1/n inverse scaling.
+func IRFFT(dst []float64, spec []complex128) {
+	n := len(dst)
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("dsp: IRFFT length %d is not a power of two", n))
+	}
+	if len(spec) != n/2+1 {
+		panic(fmt.Sprintf("dsp: IRFFT needs %d input bins, got %d", n/2+1, len(spec)))
+	}
+	if n == 1 {
+		dst[0] = real(spec[0])
+		return
+	}
+	h := n / 2
+	z := GetC128(h)
+	defer PutC128(z)
+	// Retangle: E[k] = (X[k]+conj(X[h-k]))/2 and w^k·O[k] =
+	// (X[k]-conj(X[h-k]))/2, then rebuild the packed half-length spectrum
+	// z[k] = E[k] + i·O[k] and its mirror from conjugate symmetry.
+	z[0] = complex((real(spec[0])+real(spec[h]))*0.5, (real(spec[0])-real(spec[h]))*0.5)
+	w := twiddlesFor(n)
+	for k := 1; 2*k <= h; k++ {
+		xk, xc := spec[k], cmplx.Conj(spec[h-k])
+		e := (xk + xc) * complex(0.5, 0)
+		o := (xk - xc) * complex(0.5, 0) * cmplx.Conj(w[k])
+		z[k] = e + complex(0, 1)*o
+		z[h-k] = cmplx.Conj(e) + complex(0, 1)*cmplx.Conj(o)
+	}
+	fftPow2(z, true)
+	s := 1 / float64(h)
+	for j := 0; j < h; j++ {
+		dst[2*j] = real(z[j]) * s
+		dst[2*j+1] = imag(z[j]) * s
+	}
+}

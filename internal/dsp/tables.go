@@ -1,0 +1,74 @@
+package dsp
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"sync"
+	"sync/atomic"
+)
+
+// Precomputed constants for power-of-two FFT sizes, cached per size class
+// and shared by every goroutine (engine workers hammer the same sizes
+// concurrently). Twiddles and bit-reversal permutations are cached
+// independently: the RFFT/IRFFT untangling pass at length n needs only
+// the size-n twiddles — its interior complex transform runs at n/2 — so
+// the (4 bytes/sample) reversal table for a large padded correlation
+// length is never built unless fftPow2 actually runs at that size.
+//
+// Each twiddle w[j] = exp(-2πi·j/n), j in [0, n/2), is computed
+// independently from its angle rather than by the w *= wStep recurrence
+// the kernel used previously; the recurrence accumulates rounding error
+// linearly in the stage length, the table is accurate to 1 ulp
+// everywhere. Every butterfly stage of a size-n transform indexes the one
+// table with a stride (stage size s uses w[j·n/s]). Inverse transforms
+// conjugate on the fly instead of keeping a second table.
+//
+// Tables are immutable once published; readers are lock-free, builders
+// serialize on one mutex and double-check, so each table is computed once.
+var (
+	twiddleCache [bits.UintSize]atomic.Pointer[[]complex128]
+	revCache     [bits.UintSize]atomic.Pointer[[]int32]
+	fftTableMu   sync.Mutex
+)
+
+// twiddlesFor returns the shared forward twiddle table for power-of-two
+// size n: w[j] = exp(-2πi·j/n), j in [0, n/2).
+func twiddlesFor(n int) []complex128 {
+	class := bits.TrailingZeros(uint(n))
+	if p := twiddleCache[class].Load(); p != nil {
+		return *p
+	}
+	fftTableMu.Lock()
+	defer fftTableMu.Unlock()
+	if p := twiddleCache[class].Load(); p != nil {
+		return *p
+	}
+	w := make([]complex128, n/2)
+	for j := range w {
+		w[j] = cmplx.Rect(1, -2*math.Pi*float64(j)/float64(n))
+	}
+	twiddleCache[class].Store(&w)
+	return w
+}
+
+// revFor returns the shared bit-reversal permutation for power-of-two
+// size n.
+func revFor(n int) []int32 {
+	class := bits.TrailingZeros(uint(n))
+	if p := revCache[class].Load(); p != nil {
+		return *p
+	}
+	fftTableMu.Lock()
+	defer fftTableMu.Unlock()
+	if p := revCache[class].Load(); p != nil {
+		return *p
+	}
+	rev := make([]int32, n)
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := range rev {
+		rev[i] = int32(bits.Reverse64(uint64(i)) >> shift)
+	}
+	revCache[class].Store(&rev)
+	return rev
+}

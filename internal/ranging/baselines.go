@@ -1,8 +1,32 @@
 package ranging
 
 import (
+	"slices"
+	"sync"
+
 	"uwpos/internal/dsp"
 )
+
+// templateMatcher lazily maintains a dsp.Matcher for a mutable exported
+// template field: the baseline structs expose Template/Sweep publicly
+// (and historically honoured reassignment between Arrival calls), so the
+// matcher is rebuilt whenever the template content changes and the whole
+// check is mutex-guarded to keep concurrent Arrival calls safe. The
+// content comparison is O(len) per call — noise next to the correlation
+// it fronts.
+type templateMatcher struct {
+	mu sync.Mutex
+	mt *dsp.Matcher
+}
+
+func (tm *templateMatcher) get(template []float64) *dsp.Matcher {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	if tm.mt == nil || !slices.Equal(tm.mt.Template(), template) {
+		tm.mt = dsp.NewMatcher(template)
+	}
+	return tm.mt
+}
 
 // BeepBeep is the auto-correlation chirp ranging baseline (Peng et al.,
 // SenSys'07), adapted as in §3.1: a linear chirp template, window-power
@@ -14,6 +38,8 @@ type BeepBeep struct {
 	// at least this fraction of the global max (their "specially-designed
 	// peak detection"). Default 0.8.
 	PeakFraction float64
+
+	matcher templateMatcher // tracks Template
 }
 
 // NewBeepBeep builds the baseline around a chirp template.
@@ -23,10 +49,11 @@ func NewBeepBeep(template []float64) *BeepBeep {
 
 // Arrival estimates the chirp arrival index in the stream, or ok=false.
 func (b *BeepBeep) Arrival(stream []float64) (idx float64, ok bool) {
-	corr := dsp.NormalizedCrossCorrelate(stream, b.Template)
+	corr := b.matcher.get(b.Template).NormalizedCrossCorrelatePooled(stream)
 	if corr == nil {
 		return 0, false
 	}
+	defer dsp.PutF64(corr)
 	_, max := dsp.Max(corr)
 	if max <= 0 {
 		return 0, false
@@ -79,6 +106,8 @@ type CAT struct {
 	Sweep      []float64
 	SampleRate float64
 	BandHz     float64 // swept bandwidth B
+
+	matcher templateMatcher // tracks Sweep
 }
 
 // NewCAT builds the baseline for a sweep covering bandHz of spectrum.
@@ -91,11 +120,12 @@ func NewCAT(sweep []float64, fs, bandHz float64) *CAT {
 // rx·tx over the overlap and reads the residual delay off the beat
 // spectrum: delay = f_beat · T / B.
 func (c *CAT) Arrival(stream []float64) (idx float64, ok bool) {
-	corr := dsp.NormalizedCrossCorrelate(stream, c.Sweep)
+	corr := c.matcher.get(c.Sweep).NormalizedCrossCorrelatePooled(stream)
 	if corr == nil {
 		return 0, false
 	}
 	coarse, peak := dsp.Max(corr)
+	dsp.PutF64(corr)
 	if peak <= 0 {
 		return 0, false
 	}
@@ -119,16 +149,17 @@ func (c *CAT) Arrival(stream []float64) (idx float64, ok bool) {
 	for i := 0; i < n; i++ {
 		prod[i] = stream[start+i] * c.Sweep[i]
 	}
-	// Window to tame leakage, then FFT.
+	// Window to tame leakage, then a real FFT of the padded mix.
 	win := dsp.MakeWindow(dsp.Hann, n)
 	dsp.ApplyWindow(prod, win)
 	m := dsp.NextPow2(4 * n) // zero-pad for finer beat resolution
-	buf := make([]complex128, m)
-	for i, v := range prod {
-		buf[i] = complex(v, 0)
-	}
-	dsp.FFT(buf)
-	mag := dsp.AbsComplex(buf[:m/2])
+	pad := dsp.GetF64(m)
+	copy(pad, prod)
+	spec := dsp.GetC128(m/2 + 1)
+	dsp.RFFT(spec, pad)
+	mag := dsp.AbsComplex(spec[:m/2])
+	dsp.PutC128(spec)
+	dsp.PutF64(pad)
 	// The beat for residual delays of ±backoff samples stays below
 	// k·backoff·2: restrict the search to suppress audio-band leakage.
 	sweepDur := float64(len(c.Sweep)) / c.SampleRate

@@ -14,7 +14,7 @@ import (
 type ChannelEstimator struct {
 	params sig.Params
 	plan   *dsp.Plan
-	baseX  []complex128 // X(k), the transmitted base-symbol spectrum
+	baseX  []complex128 // X(k), the transmitted base-symbol spectrum (shared, read-only)
 	binLo  int
 	binHi  int
 
@@ -38,10 +38,13 @@ type ChannelEstimator struct {
 // NewChannelEstimator builds an estimator for the preamble numerology.
 func NewChannelEstimator(p sig.Params) *ChannelEstimator {
 	lo, hi := p.BinRange()
+	// The plan's Bluestein setup and the base spectrum are cached
+	// package-wide, so per-trial estimator construction costs only the
+	// scratch slices below.
 	return &ChannelEstimator{
 		params:     p,
 		plan:       dsp.NewPlan(p.SymbolLen),
-		baseX:      p.SymbolSpectrum(),
+		baseX:      sig.SharedSymbolSpectrum(p),
 		binLo:      lo,
 		binHi:      hi,
 		GuardTaps:  256,

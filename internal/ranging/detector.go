@@ -59,22 +59,31 @@ func (c *DetectorConfig) defaults(p sig.Params) {
 
 // Detector finds ranging preambles in microphone streams.
 type Detector struct {
-	params   sig.Params
-	cfg      DetectorConfig
-	template []float64
+	params  sig.Params
+	cfg     DetectorConfig
+	matcher *dsp.Matcher
 }
 
 // NewDetector builds a detector for the given preamble numerology.
 func NewDetector(p sig.Params, cfg DetectorConfig) *Detector {
 	cfg.defaults(p)
-	return &Detector{params: p, cfg: cfg, template: p.Preamble()}
+	// A detector is rebuilt for every device on every simulated trial,
+	// but the template depends only on the Params, so all trials and all
+	// engine workers share one matcher — the template is transformed once
+	// per padded length for the whole process.
+	return &Detector{params: p, cfg: cfg, matcher: sig.SharedMatcher("preamble", p, sig.SharedPreamble)}
 }
 
 // Params returns the preamble numerology the detector was built with.
 func (d *Detector) Params() sig.Params { return d.params }
 
-// Template returns the reference preamble waveform.
-func (d *Detector) Template() []float64 { return d.template }
+// Template returns a copy of the reference preamble waveform. The
+// detector's internal template is shared process-wide, so unlike the
+// pre-matcher API (which returned the live per-detector slice), mutating
+// the returned copy has no effect on detection.
+func (d *Detector) Template() []float64 {
+	return append([]float64(nil), d.matcher.Template()...)
+}
 
 // Detect scans the stream and returns validated detections sorted by index.
 //
@@ -87,11 +96,12 @@ func (d *Detector) Detect(stream []float64) []Detection {
 	if !d.cfg.DisablePrefilter {
 		stream = sig.BandLimit(stream, d.params.BandLowHz, d.params.BandHighHz, d.params.SampleRate)
 	}
-	corr := dsp.NormalizedCrossCorrelate(stream, d.template)
+	corr := d.matcher.NormalizedCrossCorrelatePooled(stream)
 	if corr == nil {
 		return nil
 	}
 	candidates := dsp.FindPeaks(corr, d.cfg.CandidateThreshold)
+	dsp.PutF64(corr) // peaks copy index+value; the slab can go back now
 	if len(candidates) == 0 {
 		return nil
 	}

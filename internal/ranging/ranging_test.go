@@ -72,6 +72,38 @@ func TestDetectorLowSNR(t *testing.T) {
 	}
 }
 
+// TestDetectorPeakInvariance: the Matcher-backed detector must find its
+// candidate peaks at exactly the indices the one-shot reference
+// correlation produces — the precomputed-spectrum path may differ from
+// the reference in low-order bits but never in peak placement.
+func TestDetectorPeakInvariance(t *testing.T) {
+	p := testParams()
+	for seed := int64(40); seed < 45; seed++ {
+		at := 8000 + int(seed*1777)%30000
+		stream := makeStream(t, p, at, 70000, 0.8, 0.05, seed)
+		d := NewDetector(p, DetectorConfig{})
+		filtered := sig.BandLimit(stream, p.BandLowHz, p.BandHighHz, p.SampleRate)
+		ref := dsp.NormalizedCrossCorrelate(filtered, p.Preamble())
+		refPeaks := dsp.FindPeaks(ref, 0.15)
+		refIdx := make(map[int]bool, len(refPeaks))
+		for _, pk := range refPeaks {
+			refIdx[pk.Index] = true
+		}
+		dets := d.Detect(stream)
+		if len(dets) == 0 {
+			t.Fatalf("seed %d: preamble at %d not detected", seed, at)
+		}
+		for _, det := range dets {
+			if !refIdx[det.CoarseIndex] {
+				t.Errorf("seed %d: detection at %d is not a reference correlation peak", seed, det.CoarseIndex)
+			}
+		}
+		if e := abs(dets[0].CoarseIndex - at); e > 3 {
+			t.Errorf("seed %d: coarse index %d, want %d", seed, dets[0].CoarseIndex, at)
+		}
+	}
+}
+
 func TestDetectorRejectsNoise(t *testing.T) {
 	p := testParams()
 	r := rand.New(rand.NewSource(3))

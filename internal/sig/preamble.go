@@ -3,6 +3,7 @@ package sig
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"uwpos/internal/dsp"
 )
@@ -158,6 +159,63 @@ func (p Params) Preamble() []float64 {
 		}
 	}
 	return out
+}
+
+// Key returns a comparable identity for the numerology, suitable as a
+// cache key: two Params with equal Key produce identical waveforms.
+func (p Params) Key() string {
+	return fmt.Sprintf("%g|%d|%d|%d|%v|%g|%g|%d",
+		p.SampleRate, p.SymbolLen, p.CPLen, p.NumSymbols, p.PN,
+		p.BandLowHz, p.BandHighHz, p.ZCRoot)
+}
+
+// Package-level waveform caches. Preambles and base-symbol spectra are
+// pure functions of Params, and the receiver pipeline rebuilds its state
+// per trial (each trial constructs fresh detectors/estimators), so
+// without a cache every trial would re-synthesize the identical
+// waveform. Values are stored once and handed out shared.
+var (
+	preambleCache sync.Map // Params.Key() -> []float64, read-only
+	spectrumCache sync.Map // Params.Key() -> []complex128, read-only
+	matcherCache  sync.Map // kind + "|" + Params.Key() -> *dsp.Matcher
+)
+
+// SharedPreamble returns the preamble waveform for p from a package-level
+// cache. The returned slice is shared across callers and MUST be treated
+// as read-only; use Preamble for a private copy.
+func SharedPreamble(p Params) []float64 {
+	k := p.Key()
+	if v, ok := preambleCache.Load(k); ok {
+		return v.([]float64)
+	}
+	v, _ := preambleCache.LoadOrStore(k, p.Preamble())
+	return v.([]float64)
+}
+
+// SharedSymbolSpectrum returns X(k) for p from a package-level cache.
+// The returned slice is shared across callers and MUST be treated as
+// read-only; use SymbolSpectrum for a private copy.
+func SharedSymbolSpectrum(p Params) []complex128 {
+	k := p.Key()
+	if v, ok := spectrumCache.Load(k); ok {
+		return v.([]complex128)
+	}
+	v, _ := spectrumCache.LoadOrStore(k, p.SymbolSpectrum())
+	return v.([]complex128)
+}
+
+// SharedMatcher returns a process-wide dsp.Matcher for the waveform that
+// build derives from p, cached under kind (e.g. "preamble",
+// "calibration") so distinct waveforms of one numerology get distinct
+// matchers. All trials and engine workers share the returned matcher;
+// dsp.NewMatcher copies the template, so build may return a shared slice.
+func SharedMatcher(kind string, p Params, build func(Params) []float64) *dsp.Matcher {
+	k := kind + "|" + p.Key()
+	if v, ok := matcherCache.Load(k); ok {
+		return v.(*dsp.Matcher)
+	}
+	v, _ := matcherCache.LoadOrStore(k, dsp.NewMatcher(build(p)))
+	return v.(*dsp.Matcher)
 }
 
 // SymbolAt returns the sample range [start, end) of the s-th OFDM symbol

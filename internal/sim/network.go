@@ -113,7 +113,7 @@ type Network struct {
 	rng     *rand.Rand
 	devices []*simDevice
 	idLen   int       // samples of the MFSK ID section
-	pre     []float64 // cached preamble waveform (read-only)
+	pre     []float64 // cached preamble waveform (shared, read-only)
 	faults  map[[2]int]LinkFault
 	// sensorDepths holds device-side depth readings for the round (what
 	// each device would report; the leader only sees them via comms).
@@ -182,7 +182,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		proto:  proto,
 		rng:    rng,
 		idLen:  int(0.055 * params.SampleRate), // preamble 223 ms + ID 55 ms = T_packet
-		pre:    params.Preamble(),
+		pre:    sig.SharedPreamble(params),
 		faults: make(map[[2]int]LinkFault),
 	}
 	for _, f := range cfg.Faults {

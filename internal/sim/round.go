@@ -193,7 +193,8 @@ func (nw *Network) addNoise() {
 // calibrateAll plays and detects the self-calibration chirp on every
 // device (appendix, Fig. 21).
 func (nw *Network) calibrateAll() error {
-	wave := nw.params.CalibrationSignal(0)
+	mt := calibrationMatcher(nw.params)
+	wave := mt.Template() // shared, read-only; WriteSpeaker and rendering copy
 	fs := nw.params.SampleRate
 	// All devices write, then all detect (cross-talk is rendered too:
 	// remote calibrations are far weaker than the near-field loopback).
@@ -210,7 +211,7 @@ func (nw *Network) calibrateAll() error {
 		if end > len(stream) {
 			end = len(stream)
 		}
-		corr := crossCorrPrefix(stream[:end], wave)
+		corr := mt.NormalizedCrossCorrelatePooled(stream[:end])
 		if corr == nil {
 			return fmt.Errorf("sim: calibration window too short on device %d", d.id)
 		}
@@ -594,9 +595,14 @@ func (nw *Network) measureLatency() float64 {
 	return last - t0 + nw.proto.TPacket
 }
 
-// crossCorrPrefix is a local wrapper for calibration detection. The result
-// is a pooled slab (stream-sized, one per device per round); callers scan
-// it and hand it back with dsp.PutF64.
-func crossCorrPrefix(stream, template []float64) []float64 {
-	return dsp.NormalizedCrossCorrelatePooled(stream, template)
+// calibrationMatcher returns the process-wide matched filter for the
+// self-calibration chirp: the waveform and its spectra are pure functions
+// of the Params, so every trial and every engine worker share one
+// precomputed matcher instead of re-transforming the chirp per round.
+// The correlation result is a pooled slab (stream-sized, one per device
+// per round); calibrateAll scans it and hands it back with dsp.PutF64.
+func calibrationMatcher(p sig.Params) *dsp.Matcher {
+	return sig.SharedMatcher("calibration", p, func(p sig.Params) []float64 {
+		return p.CalibrationSignal(0)
+	})
 }
