@@ -66,8 +66,9 @@ func registry() map[string]runner {
 			_, _, t := experiments.Flipping(o)
 			return t
 		},
-		"battery":  func(o experiments.Options) *stats.Table { return experiments.Battery(o) },
-		"headline": experiments.Headline,
+		"battery":   func(o experiments.Options) *stats.Table { return experiments.Battery(o) },
+		"streaming": func(o experiments.Options) *stats.Table { return experiments.Streaming(o) },
+		"headline":  experiments.Headline,
 		"ablation-bandwindow": func(o experiments.Options) *stats.Table {
 			_, t := experiments.AblationBandWindow(o)
 			return t
@@ -94,7 +95,7 @@ var order = []string{
 	"fig13a", "fig13b", "fig14a", "fig14b",
 	"fig15", "fig16", "fig22",
 	"fig18", "fig19a", "fig19b", "fig19b-4dev", "fig20",
-	"rtt", "flipping", "battery",
+	"rtt", "flipping", "battery", "streaming",
 	"ablation-bandwindow", "ablation-prefilter", "ablation-restarts", "ablation-reportback",
 	"headline",
 }

@@ -16,6 +16,7 @@ package audio
 
 import (
 	"fmt"
+	"iter"
 	"math"
 
 	"uwpos/internal/dsp"
@@ -157,6 +158,30 @@ func (s *Stack) Speaker() []float64 { return s.speaker }
 // Mic returns the i-th microphone stream. The channel adds arrivals into
 // it; the device's receiver pipeline reads it.
 func (s *Stack) Mic(i int) []float64 { return s.mics[i] }
+
+// MicChunks iterates over mic i's stream in successive chunk-sample
+// sub-slices (the last may be shorter) — the shape in which the OS
+// actually delivers audio to the receiver (OpenSL ES buffer callbacks),
+// and the natural feed for the streaming detection pipeline. The yielded
+// slices alias the live stream; treat them as read-only. A released
+// stack or non-positive chunk yields nothing.
+func (s *Stack) MicChunks(i, chunk int) iter.Seq[[]float64] {
+	return func(yield func([]float64) bool) {
+		if chunk <= 0 {
+			return
+		}
+		stream := s.Mic(i)
+		for off := 0; off < len(stream); off += chunk {
+			end := off + chunk
+			if end > len(stream) {
+				end = len(stream)
+			}
+			if !yield(stream[off:end]) {
+				return
+			}
+		}
+	}
+}
 
 // Calibrate stores the measured speaker↔mic index offset Δn = n₁ − m₁,
 // where the device wrote its calibration signal at speaker index n₁ and

@@ -263,3 +263,47 @@ func TestReleaseIdempotentAndInert(t *testing.T) {
 	a.Release()
 	b.Release()
 }
+
+func TestMicChunksCoversStream(t *testing.T) {
+	s, _ := NewStack(defaultCfg())
+	defer s.Release()
+	mic := s.Mic(0)
+	for i := range mic {
+		mic[i] = float64(i)
+	}
+	for _, chunk := range []int{1, 7, 1024, len(mic), len(mic) + 5} {
+		var got []float64
+		n := 0
+		for c := range s.MicChunks(0, chunk) {
+			if len(c) > chunk {
+				t.Fatalf("chunk %d: yielded %d samples", chunk, len(c))
+			}
+			got = append(got, c...)
+			n++
+		}
+		if len(got) != len(mic) {
+			t.Fatalf("chunk %d: reassembled %d samples, want %d", chunk, len(got), len(mic))
+		}
+		for i, v := range got {
+			if v != mic[i] {
+				t.Fatalf("chunk %d: sample %d = %g, want %g", chunk, i, v, mic[i])
+			}
+		}
+		if want := (len(mic) + chunk - 1) / chunk; n != want {
+			t.Fatalf("chunk %d: %d chunks, want %d", chunk, n, want)
+		}
+	}
+	// Early break must stop cleanly; bad chunk sizes yield nothing.
+	for c := range s.MicChunks(0, 4096) {
+		_ = c
+		break
+	}
+	for range s.MicChunks(0, 0) {
+		t.Fatal("chunk 0 must yield nothing")
+	}
+	released, _ := NewStack(defaultCfg())
+	released.Release()
+	for range released.MicChunks(0, 1024) {
+		t.Fatal("released stack must yield nothing")
+	}
+}

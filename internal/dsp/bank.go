@@ -1,0 +1,358 @@
+package dsp
+
+// MatcherBank groups several Matchers so one stream can be scanned for
+// every template at far less than per-template cost. All templates share
+// one overlap-save block grid sized for the longest template; each block
+// of the stream is forward-transformed exactly once, and every template
+// then pays only its pointwise multiply and inverse transform. With N
+// templates that is 1+N half-transforms per block instead of 2N — the
+// receiver scans the same audio for the ranging preamble, the calibration
+// chirp and the baseline sweeps for roughly half the transform work.
+//
+// A bank is immutable after construction and safe for concurrent use:
+// the one-shot scans only read the member matchers' cached spectra (each
+// guarded inside Matcher), and every streaming session created by Stream
+// or StreamNormalized owns its state exclusively.
+type MatcherBank struct {
+	ms     []*Matcher
+	maxLen int // longest template, samples
+	block  int // shared overlap-save FFT block length
+	hop    int // valid lags per block: block - maxLen + 1
+}
+
+// NewMatcherBank builds a bank over the given matchers with the
+// throughput-oriented block size (osBlockFactor × the longest template,
+// ≈87% valid lags per block — the same sizing Matcher's own blocked path
+// uses). It panics on an empty bank or an empty template — a bank exists
+// to scan templates, and a zero-length template has no correlation
+// defined.
+func NewMatcherBank(ms ...*Matcher) *MatcherBank {
+	return newMatcherBank(osBlockFactor, ms)
+}
+
+func newMatcherBank(blockFactor int, ms []*Matcher) *MatcherBank {
+	if len(ms) == 0 {
+		panic("dsp: NewMatcherBank needs at least one matcher")
+	}
+	maxLen := 0
+	for _, mt := range ms {
+		if mt.TemplateLen() == 0 {
+			panic("dsp: MatcherBank template is empty")
+		}
+		if l := mt.TemplateLen(); l > maxLen {
+			maxLen = l
+		}
+	}
+	block := NextPow2(blockFactor * maxLen)
+	return &MatcherBank{
+		ms:     append([]*Matcher(nil), ms...),
+		maxLen: maxLen,
+		block:  block,
+		hop:    block - maxLen + 1,
+	}
+}
+
+// Len returns the number of templates in the bank.
+func (b *MatcherBank) Len() int { return len(b.ms) }
+
+// Matcher returns the i-th member matcher.
+func (b *MatcherBank) Matcher(i int) *Matcher { return b.ms[i] }
+
+// BlockLen returns the shared overlap-save FFT block length.
+func (b *MatcherBank) BlockLen() int { return b.block }
+
+// CrossCorrelateAll computes the valid-lag cross-correlation of every
+// template against x in one pass. out[i] has len(x)-len(template_i)+1
+// lags, or is nil when x is shorter than that template.
+func (b *MatcherBank) CrossCorrelateAll(x []float64) [][]float64 {
+	return b.correlateAll(x, false, false)
+}
+
+// NormalizedCrossCorrelateAll is CrossCorrelateAll with every output
+// normalized by template energy and local window energy (one shared
+// prefix-sum pass serves all templates), so values lie in [-1, 1].
+func (b *MatcherBank) NormalizedCrossCorrelateAll(x []float64) [][]float64 {
+	return b.correlateAll(x, true, false)
+}
+
+// CrossCorrelateAllPooled is CrossCorrelateAll with results drawn from
+// the package scratch pool; release each non-nil row with PutF64.
+func (b *MatcherBank) CrossCorrelateAllPooled(x []float64) [][]float64 {
+	return b.correlateAll(x, false, true)
+}
+
+// NormalizedCrossCorrelateAllPooled is NormalizedCrossCorrelateAll with
+// pooled results; release each non-nil row with PutF64.
+func (b *MatcherBank) NormalizedCrossCorrelateAllPooled(x []float64) [][]float64 {
+	return b.correlateAll(x, true, true)
+}
+
+func (b *MatcherBank) correlateAll(x []float64, normalized, pooled bool) [][]float64 {
+	outs := make([][]float64, len(b.ms))
+	maxOut := 0
+	for i, mt := range b.ms {
+		n := len(x) - mt.TemplateLen() + 1
+		if n <= 0 {
+			continue // outs[i] stays nil, matching the one-shot contract
+		}
+		outs[i] = allocResult(n, pooled)
+		if n > maxOut {
+			maxOut = n
+		}
+	}
+	if maxOut == 0 {
+		return outs
+	}
+	pad := GetF64(b.block)
+	defer PutF64(pad)
+	work := GetF64(b.block)
+	defer PutF64(work)
+	fx := GetC128(b.block/2 + 1)
+	defer PutC128(fx)
+	fy := GetC128(b.block/2 + 1)
+	defer PutC128(fy)
+	for p := 0; p < maxOut; p += b.hop {
+		end := p + b.block
+		if end > len(x) {
+			end = len(x)
+		}
+		n := copy(pad, x[p:end])
+		for i := n; i < b.block; i++ {
+			pad[i] = 0
+		}
+		RFFT(fx, pad)
+		for i, out := range outs {
+			if out == nil || p >= len(out) {
+				continue
+			}
+			spec := b.ms[i].spectrum(b.block)
+			for j := range fy {
+				fy[j] = fx[j] * spec[j]
+			}
+			IRFFT(work, fy)
+			copy(out[p:], work[:b.hop])
+		}
+	}
+	if normalized {
+		prefix := GetF64(len(x) + 1)
+		defer PutF64(prefix)
+		for i, v := range x {
+			prefix[i+1] = prefix[i] + v*v
+		}
+		for i, out := range outs {
+			if out == nil {
+				continue
+			}
+			normalizeWithPrefix(out, prefix, b.ms[i].TemplateLen(), b.ms[i].energy)
+		}
+	}
+	return outs
+}
+
+// Stream opens an incremental scanning session over the bank: feed the
+// stream chunk by chunk and collect each template's correlation lags as
+// they become computable.
+func (b *MatcherBank) Stream() *BankStream { return newBankStream(b, false) }
+
+// StreamNormalized is Stream with window-energy normalization (outputs in
+// [-1, 1], matching NormalizedCrossCorrelateAll).
+func (b *MatcherBank) StreamNormalized() *BankStream { return newBankStream(b, true) }
+
+// BankStream is an in-progress overlap-save scan of one stream against
+// every template of a MatcherBank. Chunks of any length go in via Feed;
+// newly computable correlation lags come out per template. Because blocks
+// sit on a fixed absolute grid (multiples of the bank hop from stream
+// start), the emitted lags are bit-for-bit identical for every chunk
+// partition of the same stream — including the whole stream in one Feed,
+// which is exactly what the bank's one-shot CrossCorrelateAll computes.
+//
+// State is O(block length): the session carries only the inter-block
+// overlap, a rolling energy-prefix window, and per-template emission
+// buffers. A session is single-stream and not safe for concurrent use;
+// open one session per goroutine (sessions of one bank share the cached
+// template spectra read-only, so concurrent sessions are safe).
+type BankStream struct {
+	bank       *MatcherBank
+	normalized bool
+
+	// buf holds stream samples from the current block start (a multiple
+	// of hop); pre, when normalizing, holds the energy prefix sums
+	// aligned with buf: pre[i] = Σ x[j]² for j < start+i.
+	buf    []float64
+	pre    []float64
+	bufLen int
+	start  int // absolute stream index of buf[0]
+	fed    int // total samples consumed
+
+	emit [][]float64 // per-template emission buffers, reused across calls
+
+	pad, work []float64
+	fx, fy    []complex128
+
+	flushed bool
+}
+
+func newBankStream(b *MatcherBank, normalized bool) *BankStream {
+	s := &BankStream{
+		bank:       b,
+		normalized: normalized,
+		buf:        GetF64(b.block),
+		pad:        GetF64(b.block),
+		work:       GetF64(b.block),
+		fx:         GetC128(b.block/2 + 1),
+		fy:         GetC128(b.block/2 + 1),
+		emit:       make([][]float64, len(b.ms)),
+	}
+	if normalized {
+		s.pre = GetF64(b.block + 1)
+	}
+	return s
+}
+
+// Fed returns the number of stream samples consumed so far.
+func (s *BankStream) Fed() int { return s.fed }
+
+// Feed consumes one chunk and returns, per template, the correlation lags
+// that became computable. Rows alias session-owned buffers: they are
+// valid until the next Feed or Flush call and must be copied to persist.
+// All rows have equal length during feeding (whole blocks only); the
+// ragged per-template tails arrive at Flush.
+func (s *BankStream) Feed(chunk []float64) [][]float64 {
+	if s.flushed {
+		panic("dsp: BankStream.Feed after Flush")
+	}
+	s.grow(len(chunk))
+	copy(s.buf[s.bufLen:], chunk)
+	if s.normalized {
+		run := s.pre[s.bufLen]
+		for i, v := range chunk {
+			run += v * v
+			s.pre[s.bufLen+1+i] = run
+		}
+	}
+	s.bufLen += len(chunk)
+	s.fed += len(chunk)
+	for i := range s.emit {
+		s.emit[i] = s.emit[i][:0]
+	}
+	for s.bufLen >= s.bank.block {
+		s.runBlock(func(int) int { return s.bank.hop })
+		copy(s.buf, s.buf[s.bank.hop:s.bufLen])
+		if s.normalized {
+			copy(s.pre, s.pre[s.bank.hop:s.bufLen+1])
+		}
+		s.bufLen -= s.bank.hop
+		s.start += s.bank.hop
+	}
+	return s.emit
+}
+
+// Flush marks end of stream, computes every remaining lag from the
+// zero-padded tail blocks and returns them per template (rows may have
+// different lengths; a template longer than the whole stream yields an
+// empty row). The session's scratch returns to the pool; only the
+// returned rows stay valid, until the session is garbage collected.
+func (s *BankStream) Flush() [][]float64 {
+	if s.flushed {
+		panic("dsp: BankStream.Flush after Flush")
+	}
+	s.flushed = true
+	for i := range s.emit {
+		s.emit[i] = s.emit[i][:0]
+	}
+	for {
+		more := false
+		for _, mt := range s.bank.ms {
+			if s.fed-mt.TemplateLen()+1 > s.start {
+				more = true
+			}
+		}
+		if !more {
+			break
+		}
+		s.runBlock(func(i int) int {
+			take := s.fed - s.bank.ms[i].TemplateLen() + 1 - s.start
+			if take > s.bank.hop {
+				take = s.bank.hop
+			}
+			return take
+		})
+		adv := s.bank.hop
+		if adv > s.bufLen {
+			adv = s.bufLen
+		}
+		copy(s.buf, s.buf[adv:s.bufLen])
+		if s.normalized {
+			copy(s.pre, s.pre[adv:s.bufLen+1])
+		}
+		s.bufLen -= adv
+		s.start += s.bank.hop
+	}
+	PutF64(s.buf)
+	PutF64(s.pad)
+	PutF64(s.work)
+	PutC128(s.fx)
+	PutC128(s.fy)
+	if s.pre != nil {
+		PutF64(s.pre)
+	}
+	s.buf, s.pad, s.work, s.fx, s.fy, s.pre = nil, nil, nil, nil, nil, nil
+	return s.emit
+}
+
+// runBlock transforms the current block (buffered samples zero-padded to
+// the block length) once and appends take(i) lags to each template's
+// emission buffer. take(i) ≤ hop; non-positive takes skip the template's
+// inverse transform entirely.
+func (s *BankStream) runBlock(take func(i int) int) {
+	n := s.bufLen
+	if n > s.bank.block {
+		n = s.bank.block
+	}
+	copy(s.pad, s.buf[:n])
+	for i := n; i < s.bank.block; i++ {
+		s.pad[i] = 0
+	}
+	RFFT(s.fx, s.pad)
+	for i, mt := range s.bank.ms {
+		t := take(i)
+		if t <= 0 {
+			continue
+		}
+		spec := mt.spectrum(s.bank.block)
+		for j := range s.fy {
+			s.fy[j] = s.fx[j] * spec[j]
+		}
+		IRFFT(s.work, s.fy)
+		if s.normalized {
+			normalizeWithPrefix(s.work[:t], s.pre, mt.TemplateLen(), mt.energy)
+		}
+		s.emit[i] = append(s.emit[i], s.work[:t]...)
+	}
+}
+
+// grow makes room for n more samples (and prefix entries) in the session
+// buffers, moving up a pool size class when a large chunk needs it. The
+// prefix array holds one entry more than the sample buffer, so its
+// capacity is checked separately: the pool's power-of-two classes put the
+// two buffers in the same class exactly when need+1 crosses a boundary.
+func (s *BankStream) grow(n int) {
+	need := s.bufLen + n
+	if need <= cap(s.buf) && (!s.normalized || need+1 <= cap(s.pre)) {
+		s.buf = s.buf[:cap(s.buf)]
+		if s.normalized {
+			s.pre = s.pre[:cap(s.pre)]
+		}
+		return
+	}
+	nb := GetF64(need)
+	copy(nb, s.buf[:s.bufLen])
+	PutF64(s.buf)
+	s.buf = nb
+	if s.normalized {
+		np := GetF64(need + 1)
+		copy(np, s.pre[:s.bufLen+1])
+		PutF64(s.pre)
+		s.pre = np
+	}
+}

@@ -1,0 +1,230 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func bankOf(r *rand.Rand, lens ...int) *MatcherBank {
+	ms := make([]*Matcher, len(lens))
+	for i, n := range lens {
+		ms[i] = NewMatcher(randReal(r, n))
+	}
+	return NewMatcherBank(ms...)
+}
+
+// TestMatcherBankMatchesSingleScans checks the shared-forward-FFT batch
+// scan against each member matcher's own one-shot correlation.
+func TestMatcherBankMatchesSingleScans(t *testing.T) {
+	r := rand.New(rand.NewSource(50))
+	for _, lens := range [][]int{
+		{256, 256, 256},
+		{2048, 1000, 300},
+		{100, 9840, 2048},
+		{700},
+	} {
+		b := bankOf(r, lens...)
+		for _, nx := range []int{12000, 40000} {
+			x := randReal(r, nx)
+			raw := b.CrossCorrelateAll(x)
+			norm := b.NormalizedCrossCorrelateAll(x)
+			for i := 0; i < b.Len(); i++ {
+				mt := b.Matcher(i)
+				wantRaw := mt.CrossCorrelate(x)
+				wantNorm := mt.NormalizedCrossCorrelate(x)
+				if len(raw[i]) != len(wantRaw) {
+					t.Fatalf("lens=%v nx=%d t%d: raw length %d vs %d", lens, nx, i, len(raw[i]), len(wantRaw))
+				}
+				for k := range wantRaw {
+					if math.Abs(raw[i][k]-wantRaw[k]) > 1e-9*(1+math.Abs(wantRaw[k])) {
+						t.Fatalf("lens=%v nx=%d t%d: raw lag %d: %g vs %g", lens, nx, i, k, raw[i][k], wantRaw[k])
+					}
+					if math.Abs(norm[i][k]-wantNorm[k]) > 1e-9 {
+						t.Fatalf("lens=%v nx=%d t%d: normalized lag %d: %g vs %g", lens, nx, i, k, norm[i][k], wantNorm[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBankStreamMatchesOneShot checks the streaming session is
+// bit-identical to the bank's own one-shot scan for arbitrary chunk
+// partitions — both run the same absolute block grid.
+func TestBankStreamMatchesOneShot(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	b := bankOf(r, 512, 2000, 128)
+	for _, nx := range []int{500, 5000, 30000} {
+		x := randReal(r, nx)
+		for _, normalized := range []bool{false, true} {
+			var want [][]float64
+			if normalized {
+				want = b.NormalizedCrossCorrelateAll(x)
+			} else {
+				want = b.CrossCorrelateAll(x)
+			}
+			for trial := 0; trial < 8; trial++ {
+				got := make([][]float64, b.Len())
+				var s *BankStream
+				if normalized {
+					s = b.StreamNormalized()
+				} else {
+					s = b.Stream()
+				}
+				collect := func(rows [][]float64) {
+					for i, row := range rows {
+						got[i] = append(got[i], row...)
+					}
+				}
+				prev := 0
+				for _, c := range randomCuts(r, nx) {
+					collect(s.Feed(x[prev:c]))
+					prev = c
+				}
+				collect(s.Feed(x[prev:]))
+				collect(s.Flush())
+				for i := range got {
+					if len(got[i]) != len(want[i]) {
+						t.Fatalf("nx=%d norm=%v t%d: length %d vs %d", nx, normalized, i, len(got[i]), len(want[i]))
+					}
+					for k := range got[i] {
+						if got[i][k] != want[i][k] {
+							t.Fatalf("nx=%d norm=%v t%d lag %d: stream %v vs one-shot %v", nx, normalized, i, k, got[i][k], want[i][k])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMatcherBankShortStream(t *testing.T) {
+	r := rand.New(rand.NewSource(52))
+	b := bankOf(r, 100, 400)
+	x := randReal(r, 200) // long enough for template 0 only
+	outs := b.CrossCorrelateAll(x)
+	if len(outs[0]) != 101 {
+		t.Fatalf("template 0 got %d lags, want 101", len(outs[0]))
+	}
+	if outs[1] != nil {
+		t.Fatalf("template longer than stream must yield nil, got %d lags", len(outs[1]))
+	}
+	s := b.Stream()
+	s.Feed(x)
+	rows := s.Flush()
+	if len(rows[0]) != 101 || len(rows[1]) != 0 {
+		t.Fatalf("stream rows %d/%d, want 101/0", len(rows[0]), len(rows[1]))
+	}
+}
+
+func TestMatcherBankPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty bank":     func() { NewMatcherBank() },
+		"empty template": func() { NewMatcherBank(NewMatcher(nil)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s must panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestMatcherBankConcurrentSessions mirrors the PR 3 concurrent-table
+// tests for the engine-worker shape: one shared bank (shared cached
+// template spectra), one independent streaming session per goroutine,
+// plus concurrent one-shot scans. Run under -race in CI.
+func TestMatcherBankConcurrentSessions(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	b := bankOf(r, 300, 900, 128)
+	x := randReal(r, 20000)
+	want := b.NormalizedCrossCorrelateAll(x)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				got := b.NormalizedCrossCorrelateAll(x)
+				for i := range got {
+					for k := range got[i] {
+						if got[i][k] != want[i][k] {
+							t.Errorf("one-shot diverged under concurrency (t%d lag %d)", i, k)
+							return
+						}
+					}
+				}
+				return
+			}
+			s := b.StreamNormalized()
+			got := make([][]float64, b.Len())
+			for off := 0; off < len(x); off += 1000 + 37*g {
+				end := off + 1000 + 37*g
+				if end > len(x) {
+					end = len(x)
+				}
+				for i, row := range s.Feed(x[off:end]) {
+					got[i] = append(got[i], row...)
+				}
+			}
+			for i, row := range s.Flush() {
+				got[i] = append(got[i], row...)
+			}
+			for i := range got {
+				if len(got[i]) != len(want[i]) {
+					t.Errorf("session %d: t%d length %d vs %d", g, i, len(got[i]), len(want[i]))
+					return
+				}
+				for k := range got[i] {
+					if got[i][k] != want[i][k] {
+						t.Errorf("session %d diverged (t%d lag %d)", g, i, k)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// BenchmarkMatcherBank3 scans a 2 s stream for three preamble-scale
+// templates in one bank pass; BenchmarkMatcherBank3Separate is the same
+// work as three independent matcher scans. The bank must come in
+// measurably under 3× a single scan (one shared forward transform per
+// block instead of three).
+func BenchmarkMatcherBank3(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randReal(r, 88200)
+	bank := bankOf(r, 9840, 9840, 2048)
+	for _, row := range bank.NormalizedCrossCorrelateAllPooled(x) {
+		PutF64(row) // warm spectra
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, row := range bank.NormalizedCrossCorrelateAllPooled(x) {
+			PutF64(row)
+		}
+	}
+}
+
+func BenchmarkMatcherBank3Separate(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randReal(r, 88200)
+	bank := bankOf(r, 9840, 9840, 2048)
+	for i := 0; i < bank.Len(); i++ {
+		PutF64(bank.Matcher(i).NormalizedCrossCorrelatePooled(x)) // warm spectra
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < bank.Len(); k++ {
+			PutF64(bank.Matcher(k).NormalizedCrossCorrelatePooled(x))
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package dsp
+
+import (
+	"math"
+	"slices"
+	"testing"
+)
+
+// FuzzStreamMatcherChunking fuzzes signal content and chunk-split points
+// against two references: the one-shot Matcher correlation (rounding-
+// level tolerance — different FFT block grid) and the single-chunk
+// streaming session (bit-exact — same absolute block grid by
+// construction). The template is the stream's own prefix so the fuzzer
+// controls correlation structure (plateaus, exact ties, constants)
+// directly through the input bytes.
+func FuzzStreamMatcherChunking(f *testing.F) {
+	f.Add([]byte{7, 3, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add(append([]byte{40, 5}, make([]byte, 400)...)) // constant signal: all-tie plateaus
+	seed := []byte{90, 200}
+	for i := 0; i < 300; i++ {
+		seed = append(seed, byte(i*37), byte(255-i))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 16 {
+			t.Skip()
+		}
+		header, body := data[:2], data[2:]
+		x := make([]float64, len(body))
+		for i, b := range body {
+			x[i] = (float64(b) - 128) / 128
+		}
+		hlen := 1 + int(header[0])%(len(x)/2)
+		mt := NewMatcher(x[:hlen])
+
+		wantRaw := mt.CrossCorrelate(x)
+		wantNorm := mt.NormalizedCrossCorrelate(x)
+		refRaw := feedPartition(mt.Stream(), x, nil)
+		refNorm := feedPartition(mt.StreamNormalized(), x, nil)
+		if len(refRaw) != len(wantRaw) || len(refNorm) != len(wantNorm) {
+			t.Fatalf("lengths %d/%d, want %d", len(refRaw), len(refNorm), len(wantRaw))
+		}
+		for i := range wantRaw {
+			if math.Abs(refRaw[i]-wantRaw[i]) > 1e-9*(1+math.Abs(wantRaw[i])) {
+				t.Fatalf("raw lag %d: stream %g vs one-shot %g", i, refRaw[i], wantRaw[i])
+			}
+			if math.Abs(refNorm[i]-wantNorm[i]) > 1e-9 {
+				t.Fatalf("normalized lag %d: stream %g vs one-shot %g", i, refNorm[i], wantNorm[i])
+			}
+		}
+
+		// Chunk boundaries straight from the fuzz input: up to 7 cuts.
+		nc := int(header[1]) % 8
+		cuts := make([]int, 0, nc)
+		for k := 0; k < nc && k < len(body); k++ {
+			cuts = append(cuts, int(body[k])*len(x)/256)
+		}
+		slices.Sort(cuts)
+		gotRaw := feedPartition(mt.Stream(), x, cuts)
+		gotNorm := feedPartition(mt.StreamNormalized(), x, cuts)
+		for i := range refRaw {
+			if gotRaw[i] != refRaw[i] {
+				t.Fatalf("cuts %v: raw lag %d not chunk-invariant: %v vs %v", cuts, i, gotRaw[i], refRaw[i])
+			}
+			if gotNorm[i] != refNorm[i] {
+				t.Fatalf("cuts %v: normalized lag %d not chunk-invariant: %v vs %v", cuts, i, gotNorm[i], refNorm[i])
+			}
+		}
+	})
+}

@@ -184,16 +184,26 @@ func normalizeByWindowEnergy(r, x []float64, hlen int, eh float64) {
 	if r == nil {
 		return
 	}
+	prefix := GetF64(len(x) + 1)
+	defer PutF64(prefix)
+	for i, v := range x {
+		prefix[i+1] = prefix[i] + v*v
+	}
+	normalizeWithPrefix(r, prefix, hlen, eh)
+}
+
+// normalizeWithPrefix is the normalization core on a precomputed energy
+// prefix-sum array: prefix[k] must hold the cumulative Σ x² up to (but not
+// including) the stream sample aligned with correlation lag r[0]+k. The
+// split lets MatcherBank normalize every template off one prefix pass and
+// lets the streaming sessions normalize block slices against a rolling
+// prefix window.
+func normalizeWithPrefix(r, prefix []float64, hlen int, eh float64) {
 	if eh == 0 {
 		for i := range r {
 			r[i] = 0
 		}
 		return
-	}
-	prefix := GetF64(len(x) + 1)
-	defer PutF64(prefix)
-	for i, v := range x {
-		prefix[i+1] = prefix[i] + v*v
 	}
 	const eps = 1e-30
 	for k := range r {

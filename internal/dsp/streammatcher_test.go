@@ -1,0 +1,160 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// feedPartition drives a stream session over an arbitrary chunk partition
+// of x and returns the concatenated output lags.
+func feedPartition(s *StreamMatcher, x []float64, cuts []int) []float64 {
+	var out []float64
+	prev := 0
+	for _, c := range cuts {
+		out = append(out, s.Feed(x[prev:c])...)
+		prev = c
+	}
+	out = append(out, s.Feed(x[prev:])...)
+	return append(out, s.Flush()...)
+}
+
+// randomCuts draws a sorted set of chunk boundaries in [0, n], including
+// degenerate empty chunks with some probability.
+func randomCuts(r *rand.Rand, n int) []int {
+	k := r.Intn(8)
+	cuts := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		cuts = append(cuts, r.Intn(n+1))
+	}
+	slices.Sort(cuts)
+	return cuts
+}
+
+// TestStreamMatcherEquivalence is the StreamMatcher half of the streaming
+// equivalence harness: over randomized chunk partitions (sizes from 0 to
+// whole-stream, boundaries anywhere — including inside the template span
+// of a lag) the concatenated output must match Matcher.CrossCorrelate
+// within 1e-9 per lag, and be bit-identical to the single-chunk feed of
+// the same session type.
+func TestStreamMatcherEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(40))
+	for _, tc := range []struct{ nx, nh int }{
+		{500, 64},
+		{2000, 200},
+		{9000, 1024},
+		{40000, 1024}, // long enough that Matcher itself picks overlap-save
+		{300, 300},    // single lag
+		{1000, 999},
+	} {
+		x := randReal(r, tc.nx)
+		h := randReal(r, tc.nh)
+		mt := NewMatcher(h)
+		wantRaw := mt.CrossCorrelate(x)
+		wantNorm := mt.NormalizedCrossCorrelate(x)
+		oneChunkRaw := feedPartition(mt.Stream(), x, nil)
+		oneChunkNorm := feedPartition(mt.StreamNormalized(), x, nil)
+		for i := range wantRaw {
+			if math.Abs(wantRaw[i]-oneChunkRaw[i]) > 1e-9*(1+math.Abs(wantRaw[i])) {
+				t.Fatalf("nx=%d nh=%d: one-chunk raw lag %d: %g vs %g", tc.nx, tc.nh, i, oneChunkRaw[i], wantRaw[i])
+			}
+			if math.Abs(wantNorm[i]-oneChunkNorm[i]) > 1e-9 {
+				t.Fatalf("nx=%d nh=%d: one-chunk normalized lag %d: %g vs %g", tc.nx, tc.nh, i, oneChunkNorm[i], wantNorm[i])
+			}
+		}
+		for trial := 0; trial < 10; trial++ {
+			cuts := randomCuts(r, tc.nx)
+			raw := feedPartition(mt.Stream(), x, cuts)
+			norm := feedPartition(mt.StreamNormalized(), x, cuts)
+			if len(raw) != len(wantRaw) || len(norm) != len(wantNorm) {
+				t.Fatalf("nx=%d nh=%d cuts=%v: lengths %d/%d, want %d", tc.nx, tc.nh, cuts, len(raw), len(norm), len(wantRaw))
+			}
+			for i := range raw {
+				// Chunk-partition invariance is exact: same absolute block
+				// grid, same transforms, bit for bit.
+				if raw[i] != oneChunkRaw[i] {
+					t.Fatalf("nx=%d nh=%d cuts=%v: raw lag %d not bit-identical: %v vs %v", tc.nx, tc.nh, cuts, i, raw[i], oneChunkRaw[i])
+				}
+				if norm[i] != oneChunkNorm[i] {
+					t.Fatalf("nx=%d nh=%d cuts=%v: normalized lag %d not bit-identical: %v vs %v", tc.nx, tc.nh, cuts, i, norm[i], oneChunkNorm[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStreamMatcherSampleBySample feeds one sample at a time — the most
+// adversarial partition — against the one-shot reference.
+func TestStreamMatcherSampleBySample(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	x := randReal(r, 1200)
+	h := randReal(r, 100)
+	mt := NewMatcher(h)
+	want := mt.NormalizedCrossCorrelate(x)
+	s := mt.StreamNormalized()
+	var got []float64
+	for i := range x {
+		got = append(got, s.Feed(x[i:i+1])...)
+	}
+	got = append(got, s.Flush()...)
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("lag %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStreamMatcherShortStream(t *testing.T) {
+	mt := NewMatcher(randReal(rand.New(rand.NewSource(42)), 128))
+	s := mt.Stream()
+	if got := s.Feed(make([]float64, 64)); len(got) != 0 {
+		t.Fatalf("emitted %d lags before the template span filled", len(got))
+	}
+	if got := s.Flush(); len(got) != 0 {
+		t.Fatalf("stream shorter than template flushed %d lags, want 0", len(got))
+	}
+	// Exactly template length: one lag.
+	s2 := mt.Stream()
+	s2.Feed(randReal(rand.New(rand.NewSource(43)), 128))
+	if got := s2.Flush(); len(got) != 1 {
+		t.Fatalf("template-length stream flushed %d lags, want 1", len(got))
+	}
+}
+
+func TestStreamMatcherFeedAfterFlushPanics(t *testing.T) {
+	s := NewMatcher([]float64{1, 2, 3}).Stream()
+	s.Flush()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Feed after Flush must panic")
+		}
+	}()
+	s.Feed([]float64{1})
+}
+
+// BenchmarkStreamMatcher measures the chunked path on the detector's
+// shape: a 2 s stream in 4096-sample buffers against the preamble-length
+// template (compare BenchmarkMatcher for the one-shot cost).
+func BenchmarkStreamMatcher(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randReal(r, 88200)
+	mt := NewMatcher(randReal(r, 9840))
+	PutF64(mt.CrossCorrelatePooled(x)) // warm the spectrum cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := mt.StreamNormalized()
+		for off := 0; off < len(x); off += 4096 {
+			end := off + 4096
+			if end > len(x) {
+				end = len(x)
+			}
+			s.Feed(x[off:end])
+		}
+		s.Flush()
+	}
+}

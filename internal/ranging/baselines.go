@@ -7,25 +7,31 @@ import (
 	"uwpos/internal/dsp"
 )
 
-// templateMatcher lazily maintains a dsp.Matcher for a mutable exported
-// template field: the baseline structs expose Template/Sweep publicly
-// (and historically honoured reassignment between Arrival calls), so the
-// matcher is rebuilt whenever the template content changes and the whole
-// check is mutex-guarded to keep concurrent Arrival calls safe. The
-// content comparison is O(len) per call — noise next to the correlation
-// it fronts.
+// templateMatcher lazily maintains a single-template dsp.MatcherBank for
+// a mutable exported template field: the baseline structs expose
+// Template/Sweep publicly (and historically honoured reassignment between
+// Arrival calls), so the bank is rebuilt whenever the template content
+// changes and the whole check is mutex-guarded to keep concurrent Arrival
+// calls safe. The content comparison is O(len) per call — noise next to
+// the correlation it fronts. Running the baselines through the bank keeps
+// them on the same overlap-save scan path a multi-template receiver uses,
+// so callers holding a bigger bank can hand the precomputed correlation
+// straight to ArrivalFromCorr.
 type templateMatcher struct {
-	mu sync.Mutex
-	mt *dsp.Matcher
+	mu   sync.Mutex
+	bank *dsp.MatcherBank
 }
 
-func (tm *templateMatcher) get(template []float64) *dsp.Matcher {
+func (tm *templateMatcher) get(template []float64) *dsp.MatcherBank {
+	if len(template) == 0 {
+		return nil // nothing to correlate: Arrival reports ok=false
+	}
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
-	if tm.mt == nil || !slices.Equal(tm.mt.Template(), template) {
-		tm.mt = dsp.NewMatcher(template)
+	if tm.bank == nil || !slices.Equal(tm.bank.Matcher(0).Template(), template) {
+		tm.bank = dsp.NewMatcherBank(dsp.NewMatcher(template))
 	}
-	return tm.mt
+	return tm.bank
 }
 
 // BeepBeep is the auto-correlation chirp ranging baseline (Peng et al.,
@@ -49,11 +55,26 @@ func NewBeepBeep(template []float64) *BeepBeep {
 
 // Arrival estimates the chirp arrival index in the stream, or ok=false.
 func (b *BeepBeep) Arrival(stream []float64) (idx float64, ok bool) {
-	corr := b.matcher.get(b.Template).NormalizedCrossCorrelatePooled(stream)
+	bank := b.matcher.get(b.Template)
+	if bank == nil {
+		return 0, false
+	}
+	corr := bank.NormalizedCrossCorrelateAllPooled(stream)[0]
 	if corr == nil {
 		return 0, false
 	}
 	defer dsp.PutF64(corr)
+	return b.ArrivalFromCorr(corr)
+}
+
+// ArrivalFromCorr applies BeepBeep's peak-selection rule to an already
+// computed normalized correlation of the template against the stream —
+// the entry point for callers that scanned several templates in one
+// dsp.MatcherBank pass.
+func (b *BeepBeep) ArrivalFromCorr(corr []float64) (idx float64, ok bool) {
+	if len(corr) == 0 {
+		return 0, false
+	}
 	_, max := dsp.Max(corr)
 	if max <= 0 {
 		return 0, false
@@ -120,12 +141,27 @@ func NewCAT(sweep []float64, fs, bandHz float64) *CAT {
 // rx·tx over the overlap and reads the residual delay off the beat
 // spectrum: delay = f_beat · T / B.
 func (c *CAT) Arrival(stream []float64) (idx float64, ok bool) {
-	corr := c.matcher.get(c.Sweep).NormalizedCrossCorrelatePooled(stream)
+	bank := c.matcher.get(c.Sweep)
+	if bank == nil {
+		return 0, false
+	}
+	corr := bank.NormalizedCrossCorrelateAllPooled(stream)[0]
 	if corr == nil {
 		return 0, false
 	}
+	defer dsp.PutF64(corr)
+	return c.ArrivalFromCorr(corr, stream)
+}
+
+// ArrivalFromCorr runs CAT's mix-and-beat refinement from an already
+// computed normalized correlation of the sweep against the stream — the
+// entry point for callers that scanned several templates in one
+// dsp.MatcherBank pass.
+func (c *CAT) ArrivalFromCorr(corr, stream []float64) (idx float64, ok bool) {
+	if len(corr) == 0 {
+		return 0, false
+	}
 	coarse, peak := dsp.Max(corr)
-	dsp.PutF64(corr)
 	if peak <= 0 {
 		return 0, false
 	}

@@ -8,8 +8,6 @@
 package ranging
 
 import (
-	"sort"
-
 	"uwpos/internal/dsp"
 	"uwpos/internal/sig"
 )
@@ -92,51 +90,37 @@ func (d *Detector) Template() []float64 {
 // each candidate by checking that the four received OFDM symbols, after
 // unwinding the PN signs, are mutually coherent — noise bursts almost never
 // replicate themselves four times at the symbol spacing.
+//
+// Detect is the one-shot view of the streaming pipeline: it feeds the
+// whole stream through a StreamDetector as a single chunk. The streaming
+// session computes correlation on a fixed absolute block grid, so chunked
+// and one-shot detection agree bit for bit — the equivalence the
+// streaming test harness enforces.
 func (d *Detector) Detect(stream []float64) []Detection {
-	if !d.cfg.DisablePrefilter {
-		stream = sig.BandLimit(stream, d.params.BandLowHz, d.params.BandHighHz, d.params.SampleRate)
-	}
-	corr := d.matcher.NormalizedCrossCorrelatePooled(stream)
-	if corr == nil {
-		return nil
-	}
-	candidates := dsp.FindPeaks(corr, d.cfg.CandidateThreshold)
-	dsp.PutF64(corr) // peaks copy index+value; the slab can go back now
-	if len(candidates) == 0 {
-		return nil
-	}
-	// Strongest first, bounded.
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Value > candidates[j].Value })
-	if len(candidates) > d.cfg.MaxCandidates {
-		candidates = candidates[:d.cfg.MaxCandidates]
-	}
-	var out []Detection
-	for _, cand := range candidates {
-		score := d.ValidateCandidate(stream, cand.Index)
-		if score < d.cfg.AutoCorrThreshold {
-			continue
-		}
-		dup := false
-		for _, prev := range out {
-			if abs(prev.CoarseIndex-cand.Index) < d.cfg.MinSeparation {
-				dup = true
-				break
-			}
-		}
-		if dup {
-			continue
-		}
-		out = append(out, Detection{CoarseIndex: cand.Index, CorrPeak: cand.Value, AutoCorr: score})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].CoarseIndex < out[j].CoarseIndex })
-	return out
+	sd := d.Stream()
+	sd.Feed(stream)
+	return sd.Flush()
+}
+
+// Stream opens a chunked detection session sharing this detector's
+// configuration and precomputed matcher. See StreamDetector.
+func (d *Detector) Stream() *StreamDetector {
+	return newStreamDetector(d.params, d.cfg, d.matcher)
 }
 
 // ValidateCandidate computes the PN auto-correlation score for a candidate
 // preamble start: the mean pairwise correlation of the four PN-corrected
-// OFDM symbol bodies. Out-of-range candidates score 0.
+// OFDM symbol bodies. Out-of-range candidates score 0. The stream must
+// already be band-limited if the detector's prefilter is enabled (Detect
+// and StreamDetector handle this internally).
 func (d *Detector) ValidateCandidate(stream []float64, start int) float64 {
-	p := d.params
+	return validatePN(d.params, stream, start)
+}
+
+// validatePN is the stage-2 scoring shared by the one-shot and streaming
+// detectors: the mean pairwise correlation of the PN-corrected OFDM
+// symbol bodies at the candidate start.
+func validatePN(p sig.Params, stream []float64, start int) float64 {
 	if start < 0 || start+p.PreambleLen() > len(stream) {
 		return 0
 	}

@@ -1,0 +1,84 @@
+package ranging
+
+import (
+	"math"
+	"slices"
+	"testing"
+
+	"uwpos/internal/sig"
+)
+
+// fuzzParams shrinks the preamble numerology (4×(256+64) = 1280 samples
+// instead of 9840) so each fuzz execution stays in the low milliseconds
+// while exercising the identical detection pipeline.
+func fuzzParams() sig.Params {
+	p := sig.DefaultParams()
+	p.SymbolLen = 256
+	p.CPLen = 64
+	return p
+}
+
+// FuzzStreamDetector fuzzes stream content, preamble placement and
+// chunk-split points: the chunked StreamDetector must produce exactly the
+// one-shot Detector's detection set — indices equal, scores within 1e-9 —
+// for every input and every partition, including boundaries inside a
+// preamble and on the correlation peak.
+func FuzzStreamDetector(f *testing.F) {
+	// Seeds: an embedded preamble mid-stream with two cuts; a constant
+	// stream (plateau correlations); pure byte noise.
+	f.Add([]byte{2, 1, 100, 30, 60, 90, 5, 9, 13, 200, 40, 7, 77, 3})
+	f.Add(append([]byte{1, 2, 128, 64}, make([]byte, 64)...))
+	seed := []byte{0, 3, 50}
+	for i := 0; i < 200; i++ {
+		seed = append(seed, byte(101*i+17))
+	}
+	f.Add(seed)
+	p := fuzzParams()
+	if err := p.Validate(); err != nil {
+		f.Fatal(err)
+	}
+	pre := sig.SharedPreamble(p)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 8 {
+			t.Skip()
+		}
+		nEmbed := int(data[0]) % 3
+		nCuts := int(data[1]) % 6
+		total := 2*len(pre) + 16*int(data[2]) // 2560..6640 samples
+		body := data[3:]
+		stream := make([]float64, total)
+		for i := range stream {
+			stream[i] = 0.3 * (float64(body[i%len(body)]) - 128) / 128
+		}
+		for k := 0; k < nEmbed && k < len(body); k++ {
+			at := int(body[k]) * (total - len(pre)) / 256
+			amp := 0.4 + float64(body[(k+1)%len(body)])/256
+			for i, v := range pre {
+				stream[at+i] += amp * v
+			}
+		}
+
+		d := NewDetector(p, DetectorConfig{})
+		want := d.Detect(stream)
+
+		cuts := make([]int, 0, nCuts)
+		for k := 0; k < nCuts && k+nEmbed < len(body); k++ {
+			cuts = append(cuts, int(body[k+nEmbed])*total/256)
+		}
+		slices.Sort(cuts)
+		got := feedDetector(d.Stream(), stream, cuts)
+		if len(got) != len(want) {
+			t.Fatalf("cuts %v: %d detections, want %d (%+v vs %+v)", cuts, len(got), len(want), got, want)
+		}
+		for i := range want {
+			if got[i].CoarseIndex != want[i].CoarseIndex {
+				t.Fatalf("cuts %v: detection %d at %d, want %d", cuts, i, got[i].CoarseIndex, want[i].CoarseIndex)
+			}
+			if math.Abs(got[i].CorrPeak-want[i].CorrPeak) > 1e-9 ||
+				math.Abs(got[i].AutoCorr-want[i].AutoCorr) > 1e-9 {
+				t.Fatalf("cuts %v: detection %d scores (%g,%g), want (%g,%g)", cuts, i,
+					got[i].CorrPeak, got[i].AutoCorr, want[i].CorrPeak, want[i].AutoCorr)
+			}
+		}
+	})
+}

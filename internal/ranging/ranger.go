@@ -40,7 +40,15 @@ func NewRanger(p sig.Params, det DetectorConfig, dp DirectPathConfig) *Ranger {
 // both microphone streams. mic2 may be nil, in which case the single-mic
 // path is used throughout.
 func (r *Ranger) ProcessDualMic(mic1, mic2 []float64) ([]TOAResult, error) {
-	dets := r.Detector.Detect(mic1)
+	return r.Refine(mic1, mic2, r.Detector.Detect(mic1))
+}
+
+// Refine runs channel estimation and the direct-path search for an
+// already-detected set — the receiver back half, split out so callers
+// that detect incrementally (a StreamDetector fed from audio-buffer
+// chunks) can hand their detections to the same refinement pipeline.
+// The detections must refer to sample indices of mic1.
+func (r *Ranger) Refine(mic1, mic2 []float64, dets []Detection) ([]TOAResult, error) {
 	out := make([]TOAResult, 0, len(dets))
 	for _, det := range dets {
 		res, err := r.RefineArrival(mic1, mic2, det)

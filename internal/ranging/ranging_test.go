@@ -534,3 +534,21 @@ func BenchmarkChannelEstimate(b *testing.B) {
 		}
 	}
 }
+
+func TestBaselinesEmptyTemplateReturnsFalse(t *testing.T) {
+	// Regression: the bank-backed correlation path must keep the old
+	// graceful ok=false for an empty (or emptied) template rather than
+	// panicking in dsp.NewMatcherBank.
+	stream := make([]float64, 1000)
+	if _, ok := NewBeepBeep(nil).Arrival(stream); ok {
+		t.Error("BeepBeep with empty template must report ok=false")
+	}
+	bb := NewBeepBeep([]float64{1, 2, 3})
+	bb.Template = nil // exported field is documented as mutable
+	if _, ok := bb.Arrival(stream); ok {
+		t.Error("BeepBeep with emptied template must report ok=false")
+	}
+	if _, ok := NewCAT(nil, 44100, 4000).Arrival(stream); ok {
+		t.Error("CAT with empty sweep must report ok=false")
+	}
+}

@@ -1,0 +1,325 @@
+package ranging
+
+import (
+	"math"
+	"sort"
+
+	"uwpos/internal/dsp"
+	"uwpos/internal/sig"
+)
+
+// StreamDetector runs preamble detection on audio as the OS delivers it,
+// buffer by buffer, instead of on a complete per-round stream. It carries
+// the band-pass prefilter state, the overlap-save correlation overlap, the
+// peak-scan lookahead and the candidate set across chunk boundaries, so a
+// preamble is found no matter how the stream is cut — including a chunk
+// boundary landing in the middle of the preamble or right on the
+// correlation peak.
+//
+// The session is built so that the final detection set is exactly what
+// the one-shot Detector computes on the concatenated stream:
+//
+//   - the prefilter replicates sig.BandLimit's direct FIR arithmetic with
+//     carried history (bit-identical for every chunk partition);
+//   - correlation runs on a dsp.StreamMatcher whose overlap-save blocks
+//     sit on a fixed absolute grid (bit-identical for every partition);
+//   - candidate peaks are decided with one lag of lookahead, so a peak on
+//     a chunk boundary is reported exactly once;
+//   - MinSeparation dedup is applied over the whole candidate set each
+//     time, so a provisional detection is replaced when a higher peak
+//     within MinSeparation arrives in a later chunk.
+//
+// Detections reports the current (provisional) set at any time; Flush
+// ends the stream and returns the final set. Indices are global sample
+// positions in the full stream. A session is single-stream and not safe
+// for concurrent use; sessions share the process-wide template matcher
+// read-only, so any number of sessions may run concurrently.
+type StreamDetector struct {
+	params sig.Params
+	cfg    DetectorConfig
+	sm     *dsp.StreamMatcher
+
+	// Streaming band-pass prefilter (nil fir when disabled): filtered[n] =
+	// y[n+delay] with y the causal FIR output and zeros past the end,
+	// replicating sig.BandLimit's group-delay compensation.
+	fir     []float64
+	delay   int
+	tail    []float64 // last len(fir)-1 raw samples
+	tailLen int
+	rawFed  int
+	fbuf    []float64 // filter scratch: tail ++ chunk
+	fout    []float64 // filtered-output scratch
+
+	// Filtered samples retained for PN validation: win[0] holds global
+	// filtered index winStart. The window is trimmed to the earliest
+	// still-undecided correlation lag, bounding it at one FFT block plus
+	// one chunk regardless of stream length.
+	win      []float64
+	winStart int
+
+	// Peak scan with one-lag lookahead over the normalized correlation.
+	seen     int // correlation lags scanned (global index of the next lag)
+	prevVal  float64
+	pendVal  float64
+	havePend bool
+
+	cands []candidate
+
+	// topVals tracks the MaxCandidates strongest candidate peaks seen so
+	// far (an unordered min-tracked set); only candidates that enter it
+	// are PN-validated eagerly. Any candidate in the final strongest-
+	// MaxCandidates selection was necessarily in this set when it was
+	// discovered, so every selectable candidate carries a real score while
+	// weak candidates skip the (comparatively costly) validation.
+	topVals []float64
+
+	flushed bool
+	final   []Detection
+}
+
+// candidate is a gated correlation peak with its PN validation score
+// (NaN when the peak never ranked high enough to be validated — such a
+// candidate can never be selected).
+type candidate struct {
+	idx   int
+	corr  float64
+	score float64
+}
+
+// NewStreamDetector builds a chunked detection session for the given
+// preamble numerology. Equivalent to NewDetector(p, cfg).Stream().
+func NewStreamDetector(p sig.Params, cfg DetectorConfig) *StreamDetector {
+	cfg.defaults(p)
+	return newStreamDetector(p, cfg, sig.SharedMatcher("preamble", p, sig.SharedPreamble))
+}
+
+func newStreamDetector(p sig.Params, cfg DetectorConfig, matcher *dsp.Matcher) *StreamDetector {
+	sd := &StreamDetector{
+		params: p,
+		cfg:    cfg,
+		sm:     matcher.StreamNormalized(),
+	}
+	if !cfg.DisablePrefilter {
+		sd.fir = sig.BandLimitFIR(p.BandLowHz, p.BandHighHz, p.SampleRate)
+		sd.delay = (len(sd.fir) - 1) / 2
+		sd.tail = make([]float64, len(sd.fir)-1)
+	}
+	return sd
+}
+
+// Fed returns the number of raw stream samples consumed so far.
+func (s *StreamDetector) Fed() int {
+	if s.fir != nil {
+		return s.rawFed
+	}
+	return s.sm.Fed()
+}
+
+// Feed consumes the next audio chunk (any length, including empty).
+func (s *StreamDetector) Feed(chunk []float64) {
+	if s.flushed {
+		panic("ranging: StreamDetector.Feed after Flush")
+	}
+	filt := chunk
+	if s.fir != nil {
+		filt = s.filter(chunk)
+	}
+	s.win = append(s.win, filt...)
+	s.scan(s.sm.Feed(filt), false)
+	s.trimWin()
+}
+
+// Flush ends the stream and returns the final detection set — identical
+// to Detector.Detect on the concatenation of everything fed. The session
+// cannot be fed afterwards; Detections keeps returning the final set.
+func (s *StreamDetector) Flush() []Detection {
+	if s.flushed {
+		return s.final
+	}
+	if s.fir != nil {
+		// BandLimit zero-fills the last delay samples (the causal filter
+		// output past the raw stream end is discarded with the group-delay
+		// shift): emit them so lag counts match the one-shot path.
+		zeros := min(s.delay, s.rawFed)
+		pad := make([]float64, zeros)
+		s.win = append(s.win, pad...)
+		s.scan(s.sm.Feed(pad), false)
+	}
+	s.scan(s.sm.Flush(), true)
+	s.flushed = true
+	s.final = s.selectCurrent()
+	s.win, s.fbuf, s.fout, s.tail, s.cands, s.topVals = nil, nil, nil, nil, nil, nil
+	return s.final
+}
+
+// Detections returns the detection set as of the audio consumed so far,
+// sorted by index. Entries are provisional until Flush: a stronger peak
+// within MinSeparation arriving in a later chunk replaces its weaker
+// neighbour, exactly as the one-shot strongest-first dedup would have.
+func (s *StreamDetector) Detections() []Detection {
+	if s.flushed {
+		return s.final
+	}
+	return s.selectCurrent()
+}
+
+// filter runs the streaming band-pass: causal direct-form FIR with
+// carried history, arithmetic identical to dsp.Filter sample for sample,
+// followed by the group-delay drop of the first delay outputs. The
+// returned slice aliases session scratch, valid until the next call.
+func (s *StreamDetector) filter(chunk []float64) []float64 {
+	n := len(chunk)
+	if cap(s.fbuf) < s.tailLen+n {
+		s.fbuf = make([]float64, s.tailLen+n)
+	}
+	s.fbuf = s.fbuf[:s.tailLen+n]
+	copy(s.fbuf, s.tail[:s.tailLen])
+	copy(s.fbuf[s.tailLen:], chunk)
+	if cap(s.fout) < n {
+		s.fout = make([]float64, n)
+	}
+	s.fout = s.fout[:n]
+	for j := 0; j < n; j++ {
+		m := s.rawFed + j // global causal output index
+		kmax := len(s.fir)
+		if m+1 < kmax {
+			kmax = m + 1
+		}
+		base := s.tailLen + j
+		var sum float64
+		for k := 0; k < kmax; k++ {
+			sum += s.fir[k] * s.fbuf[base-k]
+		}
+		s.fout[j] = sum
+	}
+	s.rawFed += n
+	keep := len(s.fir) - 1
+	if keep > s.rawFed {
+		keep = s.rawFed
+	}
+	copy(s.tail, s.fbuf[len(s.fbuf)-keep:])
+	s.tailLen = keep
+	// Group-delay compensation: causal outputs before index delay fall off
+	// the front of the one-shot BandLimit result.
+	skip := s.delay - (s.rawFed - n)
+	if skip < 0 {
+		skip = 0
+	}
+	if skip > n {
+		skip = n
+	}
+	return s.fout[skip:]
+}
+
+// scan advances the peak decision over newly emitted correlation lags.
+// Each lag is decided once its right neighbour exists (final mode decides
+// the last lag against its left neighbour only), replicating
+// dsp.FindPeaks' predicate over the full correlation array.
+func (s *StreamDetector) scan(lags []float64, final bool) {
+	for _, v := range lags {
+		if s.havePend {
+			s.decide(s.seen-1, s.pendVal, v, true)
+			s.prevVal = s.pendVal
+		}
+		s.pendVal = v
+		s.havePend = true
+		s.seen++
+	}
+	if final && s.havePend {
+		s.decide(s.seen-1, s.pendVal, 0, false)
+		s.havePend = false
+	}
+}
+
+// decide applies the FindPeaks predicate to lag i and, on a candidate,
+// gates it through the top-MaxCandidates tracker for eager validation.
+func (s *StreamDetector) decide(i int, x, right float64, hasRight bool) {
+	if x < s.cfg.CandidateThreshold {
+		return
+	}
+	if i > 0 && x < s.prevVal {
+		return
+	}
+	if hasRight && x < right {
+		return
+	}
+	if i > 0 && x == s.prevVal {
+		return // interior of a plateau: FindPeaks reports the first index
+	}
+	score := math.NaN()
+	if s.admitTop(x) {
+		score = validatePN(s.params, s.win, i-s.winStart)
+	}
+	s.cands = append(s.cands, candidate{idx: i, corr: x, score: score})
+}
+
+// admitTop reports whether value x ranks among the MaxCandidates
+// strongest seen so far, maintaining the tracked set.
+func (s *StreamDetector) admitTop(x float64) bool {
+	if len(s.topVals) < s.cfg.MaxCandidates {
+		s.topVals = append(s.topVals, x)
+		return true
+	}
+	lo := 0
+	for k, v := range s.topVals {
+		if v < s.topVals[lo] {
+			lo = k
+		}
+	}
+	if x < s.topVals[lo] {
+		return false
+	}
+	s.topVals[lo] = x
+	return true
+}
+
+// selectCurrent applies the one-shot selection semantics to the candidate
+// set so far: strongest first, top MaxCandidates, validation threshold,
+// MinSeparation greedy dedup, index-sorted output.
+func (s *StreamDetector) selectCurrent() []Detection {
+	if len(s.cands) == 0 {
+		return nil
+	}
+	cands := append([]candidate(nil), s.cands...)
+	sort.Slice(cands, func(i, j int) bool { return cands[i].corr > cands[j].corr })
+	if len(cands) > s.cfg.MaxCandidates {
+		cands = cands[:s.cfg.MaxCandidates]
+	}
+	var out []Detection
+	for _, c := range cands {
+		if c.score < s.cfg.AutoCorrThreshold || math.IsNaN(c.score) {
+			continue
+		}
+		dup := false
+		for _, prev := range out {
+			if abs(prev.CoarseIndex-c.idx) < s.cfg.MinSeparation {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		out = append(out, Detection{CoarseIndex: c.idx, CorrPeak: c.corr, AutoCorr: c.score})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CoarseIndex < out[j].CoarseIndex })
+	return out
+}
+
+// trimWin drops validated-and-decided history from the filtered window,
+// keeping everything from the earliest still-undecided lag onward.
+func (s *StreamDetector) trimWin() {
+	keepFrom := s.seen
+	if s.havePend {
+		keepFrom = s.seen - 1
+	}
+	if keepFrom <= s.winStart {
+		return
+	}
+	off := keepFrom - s.winStart
+	if off > len(s.win) {
+		off = len(s.win)
+	}
+	s.win = s.win[:copy(s.win, s.win[off:])]
+	s.winStart += off
+}

@@ -125,15 +125,26 @@ func Goertzel(x []float64, f, fs float64) float64 {
 	return s1*s1 + s2*s2 - coeff*s1*s2
 }
 
+// bandLimitTaps is the FIR length BandLimit uses; odd, so the linear-
+// phase group delay (taps-1)/2 is a whole number of samples.
+const bandLimitTaps = 255
+
+// BandLimitFIR returns the linear-phase FIR taps BandLimit applies for
+// the given band. Exported so the streaming detector can run the
+// identical filter incrementally: same taps + same direct-form arithmetic
+// makes chunked prefiltering bit-identical to the one-shot BandLimit.
+func BandLimitFIR(lowHz, highHz, fs float64) []float64 {
+	return dsp.FIRBandpass(bandLimitTaps, lowHz, highHz, fs)
+}
+
 // BandLimit filters x to the [lowHz, highHz] band with a linear-phase FIR
 // and compensates the group delay, returning a slice of len(x). Used to
 // model the limited underwater frequency response of phone speakers.
 func BandLimit(x []float64, lowHz, highHz, fs float64) []float64 {
-	const taps = 255
-	h := dsp.FIRBandpass(taps, lowHz, highHz, fs)
+	h := BandLimitFIR(lowHz, highHz, fs)
 	y := dsp.Filter(h, x)
 	// Compensate the (taps-1)/2 group delay.
-	d := (taps - 1) / 2
+	d := (bandLimitTaps - 1) / 2
 	out := make([]float64, len(x))
 	copy(out, y[min(d, len(y)):])
 	return out

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"uwpos/internal/audio"
 	"uwpos/internal/comm"
@@ -193,8 +194,8 @@ func (nw *Network) addNoise() {
 // calibrateAll plays and detects the self-calibration chirp on every
 // device (appendix, Fig. 21).
 func (nw *Network) calibrateAll() error {
-	mt := calibrationMatcher(nw.params)
-	wave := mt.Template() // shared, read-only; WriteSpeaker and rendering copy
+	bank := calibrationBank(nw.params)
+	wave := bank.Matcher(0).Template() // shared, read-only; WriteSpeaker and rendering copy
 	fs := nw.params.SampleRate
 	// All devices write, then all detect (cross-talk is rendered too:
 	// remote calibrations are far weaker than the near-field loopback).
@@ -211,17 +212,28 @@ func (nw *Network) calibrateAll() error {
 		if end > len(stream) {
 			end = len(stream)
 		}
-		corr := mt.NormalizedCrossCorrelatePooled(stream[:end])
-		if corr == nil {
-			return fmt.Errorf("sim: calibration window too short on device %d", d.id)
-		}
-		best, bestIdx := -math.MaxFloat64, -1
-		for k, v := range corr {
-			if v > best {
-				best, bestIdx = v, k
+		// The chirp scan runs as a streaming bank session with an online
+		// argmax: correlation lags are consumed as each audio buffer
+		// arrives and scratch stays bounded at one FFT block, instead of
+		// materializing a window-sized correlation slab.
+		ses := bank.StreamNormalized()
+		best, bestIdx, pos := -math.MaxFloat64, -1, 0
+		scanMax := func(lags []float64) {
+			for _, v := range lags {
+				if v > best {
+					best, bestIdx = v, pos
+				}
+				pos++
 			}
 		}
-		dsp.PutF64(corr)
+		for off := 0; off < end; off += detectChunk {
+			to := min(off+detectChunk, end)
+			scanMax(ses.Feed(stream[off:to])[0])
+		}
+		scanMax(ses.Flush()[0])
+		if pos == 0 {
+			return fmt.Errorf("sim: calibration window too short on device %d", d.id)
+		}
 		if bestIdx < 0 {
 			return fmt.Errorf("sim: calibration not detected on device %d", d.id)
 		}
@@ -286,15 +298,30 @@ type detected struct {
 	syncFrom int
 }
 
+// detectChunk is the audio-buffer size the receiver pipeline consumes at
+// a time, matching typical OpenSL ES buffer grain (~93 ms at 44.1 kHz).
+// Detection results are invariant to this value — the streaming pipeline
+// is proven chunk-partition-exact by ranging's equivalence harness — so
+// it only shapes memory traffic.
+const detectChunk = 4096
+
 // detectMessages runs detection + refinement + MFSK decoding (sender ID,
-// then sync-source ID) over the device's current streams.
+// then sync-source ID) over the device's current streams. Detection runs
+// on the streaming pipeline exactly as a phone would run it — buffer by
+// buffer as the OS delivers audio; refinement then revisits the complete
+// streams (channel estimation needs the raw samples around each
+// detection anyway).
 func (nw *Network) detectMessages(d *simDevice) []detected {
 	mic0 := d.stack.Mic(0)
 	var mic1 []float64
 	if d.stack.NumMics() > 1 {
 		mic1 = d.stack.Mic(1)
 	}
-	toas, err := d.ranger.ProcessDualMic(mic0, mic1)
+	sd := d.ranger.Detector.Stream()
+	for chunk := range d.stack.MicChunks(0, detectChunk) {
+		sd.Feed(chunk)
+	}
+	toas, err := d.ranger.Refine(mic0, mic1, sd.Flush())
 	if err != nil {
 		return nil
 	}
@@ -599,10 +626,22 @@ func (nw *Network) measureLatency() float64 {
 // self-calibration chirp: the waveform and its spectra are pure functions
 // of the Params, so every trial and every engine worker share one
 // precomputed matcher instead of re-transforming the chirp per round.
-// The correlation result is a pooled slab (stream-sized, one per device
-// per round); calibrateAll scans it and hands it back with dsp.PutF64.
 func calibrationMatcher(p sig.Params) *dsp.Matcher {
 	return sig.SharedMatcher("calibration", p, func(p sig.Params) []float64 {
 		return p.CalibrationSignal(0)
 	})
+}
+
+// calibrationBanks caches the process-wide single-template MatcherBank
+// around calibrationMatcher per numerology; calibrateAll opens one cheap
+// streaming session per device round against it.
+var calibrationBanks sync.Map // sig.Params.Key() -> *dsp.MatcherBank
+
+func calibrationBank(p sig.Params) *dsp.MatcherBank {
+	k := p.Key()
+	if v, ok := calibrationBanks.Load(k); ok {
+		return v.(*dsp.MatcherBank)
+	}
+	v, _ := calibrationBanks.LoadOrStore(k, dsp.NewMatcherBank(calibrationMatcher(p)))
+	return v.(*dsp.MatcherBank)
 }
