@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -269,8 +270,25 @@ func main() {
 		progress = flag.Bool("progress", false, "live stderr line: streamed results, results/sec, running median")
 		out      = flag.String("out", "", "write tables + timings as JSON to this file (CI artifact)")
 		baseline = flag.String("baseline", "", "compare timings against a previous -out file; exit 1 on >25% regression")
+		profile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
 	)
 	flag.Parse()
+
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	reg := registry()
 	if *exp == "list" {

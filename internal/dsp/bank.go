@@ -103,42 +103,42 @@ func (b *MatcherBank) correlateAll(x []float64, normalized, pooled bool) [][]flo
 	if maxOut == 0 {
 		return outs
 	}
-	pad := GetF64(b.block)
-	defer PutF64(pad)
-	work := GetF64(b.block)
-	defer PutF64(work)
-	fx := GetC128(b.block/2 + 1)
-	defer PutC128(fx)
-	fy := GetC128(b.block/2 + 1)
-	defer PutC128(fy)
+	hm := b.block / 2
+	fxre := getF64Raw(hm)
+	defer PutF64(fxre)
+	fxim := getF64Raw(hm)
+	defer PutF64(fxim)
+	zre := getF64Raw(hm)
+	defer PutF64(zre)
+	zim := getF64Raw(hm)
+	defer PutF64(zim)
 	for p := 0; p < maxOut; p += b.hop {
 		end := p + b.block
 		if end > len(x) {
 			end = len(x)
 		}
-		n := copy(pad, x[p:end])
-		for i := n; i < b.block; i++ {
-			pad[i] = 0
-		}
-		RFFT(fx, pad)
+		// One shared packed forward transform per block; each template then
+		// pays only its fused spectrum fold and inverse (see rfft.go). The
+		// shared spectrum stays in the kernel's permuted packed order the
+		// whole time — the fold reads it without disturbing it.
+		rfftPacked(fxre, fxim, x[p:end])
 		for i, out := range outs {
 			if out == nil || p >= len(out) {
 				continue
 			}
-			spec := b.ms[i].spectrum(b.block)
-			for j := range fy {
-				fy[j] = fx[j] * spec[j]
+			foldSpecMulTo(zre, zim, fxre, fxim, b.ms[i].spectrum(b.block), b.block)
+			fftSoA(zre, zim, true)
+			seg := out[p:]
+			if len(seg) > b.hop {
+				seg = seg[:b.hop]
 			}
-			IRFFT(work, fy)
-			copy(out[p:], work[:b.hop])
+			interleaveScaled(seg, zre, zim, hm)
 		}
 	}
 	if normalized {
 		prefix := GetF64(len(x) + 1)
 		defer PutF64(prefix)
-		for i, v := range x {
-			prefix[i+1] = prefix[i] + v*v
-		}
+		energyPrefix(prefix, x)
 		for i, out := range outs {
 			if out == nil {
 				continue
@@ -177,17 +177,21 @@ type BankStream struct {
 
 	// buf holds stream samples from the current block start (a multiple
 	// of hop); pre, when normalizing, holds the energy prefix sums
-	// aligned with buf: pre[i] = Σ x[j]² for j < start+i.
-	buf    []float64
-	pre    []float64
-	bufLen int
-	start  int // absolute stream index of buf[0]
-	fed    int // total samples consumed
+	// aligned with buf: pre[i] = Σ x[j]² for j < start+i, accumulated
+	// with Neumaier compensation (preSum/preComp carry the running state
+	// across chunks) so arbitrarily long sessions don't drift.
+	buf             []float64
+	pre             []float64
+	preSum, preComp float64
+	bufLen          int
+	start           int // absolute stream index of buf[0]
+	fed             int // total samples consumed
 
 	emit [][]float64 // per-template emission buffers, reused across calls
 
-	pad, work []float64
-	fx, fy    []complex128
+	work       []float64 // per-template lag staging before emit append
+	fxre, fxim []float64 // shared block spectrum, packed permuted order
+	zre, zim   []float64 // per-template fold output / inverse scratch
 
 	flushed bool
 }
@@ -197,10 +201,11 @@ func newBankStream(b *MatcherBank, normalized bool) *BankStream {
 		bank:       b,
 		normalized: normalized,
 		buf:        GetF64(b.block),
-		pad:        GetF64(b.block),
-		work:       GetF64(b.block),
-		fx:         GetC128(b.block/2 + 1),
-		fy:         GetC128(b.block/2 + 1),
+		work:       getF64Raw(b.block),
+		fxre:       getF64Raw(b.block / 2),
+		fxim:       getF64Raw(b.block / 2),
+		zre:        getF64Raw(b.block / 2),
+		zim:        getF64Raw(b.block / 2),
 		emit:       make([][]float64, len(b.ms)),
 	}
 	if normalized {
@@ -224,11 +229,12 @@ func (s *BankStream) Feed(chunk []float64) [][]float64 {
 	s.grow(len(chunk))
 	copy(s.buf[s.bufLen:], chunk)
 	if s.normalized {
-		run := s.pre[s.bufLen]
+		sum, comp := s.preSum, s.preComp
 		for i, v := range chunk {
-			run += v * v
-			s.pre[s.bufLen+1+i] = run
+			sum, comp = neumaierAdd(sum, comp, v*v)
+			s.pre[s.bufLen+1+i] = sum + comp
 		}
+		s.preSum, s.preComp = sum, comp
 	}
 	s.bufLen += len(chunk)
 	s.fed += len(chunk)
@@ -289,14 +295,16 @@ func (s *BankStream) Flush() [][]float64 {
 		s.start += s.bank.hop
 	}
 	PutF64(s.buf)
-	PutF64(s.pad)
 	PutF64(s.work)
-	PutC128(s.fx)
-	PutC128(s.fy)
+	PutF64(s.fxre)
+	PutF64(s.fxim)
+	PutF64(s.zre)
+	PutF64(s.zim)
 	if s.pre != nil {
 		PutF64(s.pre)
 	}
-	s.buf, s.pad, s.work, s.fx, s.fy, s.pre = nil, nil, nil, nil, nil, nil
+	s.buf, s.work, s.pre = nil, nil, nil
+	s.fxre, s.fxim, s.zre, s.zim = nil, nil, nil, nil
 	return s.emit
 }
 
@@ -309,21 +317,16 @@ func (s *BankStream) runBlock(take func(i int) int) {
 	if n > s.bank.block {
 		n = s.bank.block
 	}
-	copy(s.pad, s.buf[:n])
-	for i := n; i < s.bank.block; i++ {
-		s.pad[i] = 0
-	}
-	RFFT(s.fx, s.pad)
+	hm := s.bank.block / 2
+	rfftPacked(s.fxre, s.fxim, s.buf[:n])
 	for i, mt := range s.bank.ms {
 		t := take(i)
 		if t <= 0 {
 			continue
 		}
-		spec := mt.spectrum(s.bank.block)
-		for j := range s.fy {
-			s.fy[j] = s.fx[j] * spec[j]
-		}
-		IRFFT(s.work, s.fy)
+		foldSpecMulTo(s.zre, s.zim, s.fxre, s.fxim, mt.spectrum(s.bank.block), s.bank.block)
+		fftSoA(s.zre, s.zim, true)
+		interleaveScaled(s.work[:t], s.zre, s.zim, hm)
 		if s.normalized {
 			normalizeWithPrefix(s.work[:t], s.pre, mt.TemplateLen(), mt.energy)
 		}

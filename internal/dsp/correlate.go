@@ -2,6 +2,7 @@ package dsp
 
 import (
 	"math"
+	"math/bits"
 )
 
 // directCorrMin is the direct/FFT crossover: templates shorter than this
@@ -65,42 +66,92 @@ func xcorrDirect(x, h []float64, pooled bool) []float64 {
 	return out
 }
 
-// rfftApplySpectrum multiplies pad by a precomputed half spectrum in the
-// frequency domain, in place: forward RFFT of pad, pointwise multiply by
-// spec (len(pad)/2+1 bins), inverse back into pad. This is the one
-// circular-filtering core shared by CrossCorrelate, Convolve, and both
-// Matcher paths; pad carries the zero-padding invariant, spec carries
-// any conjugation.
-func rfftApplySpectrum(pad []float64, spec []complex128) {
-	fx := GetC128(len(pad)/2 + 1)
-	defer PutC128(fx)
-	RFFT(fx, pad)
-	for i, hv := range spec {
-		fx[i] *= hv
-	}
-	IRFFT(pad, fx)
-}
-
-// xcorrFFT correlates via two half-cost real forward transforms, a
-// pointwise multiply against the conjugated template spectrum, and one
-// inverse real transform of the padded length.
+// xcorrFFT correlates via two half-cost packed forward transforms
+// (rfftPacked — no padded staging buffers), one fused two-spectrum fold
+// in the permuted domain (foldTwo, which conjugates the template side in
+// flight), and one inverse half-length transform interleaved straight
+// into the valid lags. Long streams run overlap-save at a cost-model
+// chosen block size instead of one padded transform.
 func xcorrFFT(x, h []float64, pooled bool) []float64 {
 	m := NextPow2(len(x) + len(h) - 1)
-	pad := GetF64(m)
-	defer PutF64(pad)
-	fh := GetC128(m/2 + 1)
-	defer PutC128(fh)
-	copy(pad, h)
-	RFFT(fh, pad)
-	for i, v := range fh {
-		fh[i] = complex(real(v), -imag(v)) // conj(H)
+	if b := osOneShotBlock(len(x), len(h), m); b < m {
+		return xcorrFFTBlocked(x, h, b, pooled)
 	}
-	// len(h) <= len(x) (caller-checked), so copying x fully overwrites
-	// h's samples and the zeroed tail beyond len(x) is untouched.
-	copy(pad, x)
-	rfftApplySpectrum(pad, fh)
+	hm := m / 2
+	zxre, zxim := getF64Raw(hm), getF64Raw(hm)
+	zhre, zhim := getF64Raw(hm), getF64Raw(hm)
+	rfftPacked(zxre, zxim, x)
+	rfftPacked(zhre, zhim, h)
+	foldTwo(zxre, zxim, zhre, zhim, m, true)
+	PutF64(zhim)
+	PutF64(zhre)
+	fftSoA(zxre, zxim, true)
 	out := allocResult(len(x)-len(h)+1, pooled)
-	copy(out, pad)
+	interleaveScaled(out, zxre, zxim, hm)
+	PutF64(zxim)
+	PutF64(zxre)
+	return out
+}
+
+// osOneShotBlock picks the FFT length for a one-shot correlation of an
+// nh-sample template against nx samples: the padded one-shot length m,
+// or a smaller overlap-save block when the butterfly count says blocking
+// is cheaper. Unlike Matcher's fixed osBlockFactor sizing — tuned for a
+// cached template spectrum amortized over many calls — a one-shot call
+// pays the template's forward transform every time, so smaller blocks
+// win much earlier; the n·log n model also ignores the locality bonus of
+// a block that fits in cache, making it conservative.
+func osOneShotBlock(nx, nh, m int) int {
+	nOut := nx - nh + 1
+	best := m
+	bestCost := 3 * transformCost(m)
+	for b := m / 2; b >= nh && b >= 2; b /= 2 {
+		blocks := (nOut + (b - nh)) / (b - nh + 1) // ceil(nOut / valid-per-block)
+		cost := float64(1+2*blocks) * transformCost(b)
+		if cost < bestCost {
+			best, bestCost = b, cost
+		}
+	}
+	return best
+}
+
+// transformCost models one packed half-length transform of padded real
+// size b in butterfly units.
+func transformCost(b int) float64 {
+	hm := b / 2
+	return float64(hm) * float64(bits.Len(uint(hm)))
+}
+
+// xcorrFFTBlocked is xcorrFFT's overlap-save path: the template spectrum
+// is computed once at the block size, then each block of x pays one
+// packed forward transform, the fused fold and one inverse, with only
+// the wrap-free lags interleaved out.
+func xcorrFFTBlocked(x, h []float64, block int, pooled bool) []float64 {
+	hm := block / 2
+	zhre, zhim := getF64Raw(hm), getF64Raw(hm)
+	rfftPacked(zhre, zhim, h)
+	nOut := len(x) - len(h) + 1
+	valid := block - len(h) + 1
+	out := allocResult(nOut, pooled)
+	zre, zim := getF64Raw(hm), getF64Raw(hm)
+	for p := 0; p < nOut; p += valid {
+		end := p + block
+		if end > len(x) {
+			end = len(x)
+		}
+		rfftPacked(zre, zim, x[p:end])
+		foldTwo(zre, zim, zhre, zhim, block, true)
+		fftSoA(zre, zim, true)
+		take := valid
+		if p+take > nOut {
+			take = nOut - p
+		}
+		interleaveScaled(out[p:p+take], zre, zim, hm)
+	}
+	PutF64(zim)
+	PutF64(zre)
+	PutF64(zhim)
+	PutF64(zhre)
 	return out
 }
 
@@ -188,14 +239,17 @@ func autoCorrFFT(x, out []float64) {
 	m := NextPow2(len(x) + len(out))
 	pad := GetF64(m)
 	defer PutF64(pad)
-	spec := GetC128(m/2 + 1)
-	defer PutC128(spec)
+	sre := GetF64(m/2 + 1)
+	defer PutF64(sre)
+	sim := GetF64(m/2 + 1)
+	defer PutF64(sim)
 	copy(pad, x)
-	RFFT(spec, pad)
-	for i, v := range spec {
-		spec[i] = complex(real(v)*real(v)+imag(v)*imag(v), 0)
+	rfftInto(sre, sim, pad)
+	for i := range sre {
+		sre[i] = sre[i]*sre[i] + sim[i]*sim[i] // |X|²
+		sim[i] = 0
 	}
-	IRFFT(pad, spec)
+	irfftInto(pad, sre, sim)
 	n := float64(len(x))
 	for lag := range out {
 		out[lag] = pad[lag] / n
@@ -229,23 +283,30 @@ func ComplexConvolve(a, b []complex128) []complex128 {
 }
 
 // Convolve computes the full linear convolution of x and k
-// (length len(x)+len(k)-1) via half-cost real transforms.
+// (length len(x)+len(k)-1) via half-cost packed real transforms and the
+// same fused two-spectrum fold the correlation path uses, without the
+// conjugation.
 func Convolve(x, k []float64) []float64 {
 	if len(x) == 0 || len(k) == 0 {
 		return nil
 	}
-	m := NextPow2(len(x) + len(k) - 1)
-	pad := GetF64(m)
-	defer PutF64(pad)
-	fk := GetC128(m/2 + 1)
-	defer PutC128(fk)
-	copy(pad, k)
-	RFFT(fk, pad)
-	for i := copy(pad, x); i < len(k); i++ {
-		pad[i] = 0 // clear k's tail when k is longer than x
-	}
-	rfftApplySpectrum(pad, fk)
 	out := make([]float64, len(x)+len(k)-1)
-	copy(out, pad)
+	if len(out) == 1 {
+		out[0] = x[0] * k[0]
+		return out
+	}
+	m := NextPow2(len(out))
+	hm := m / 2
+	zxre, zxim := getF64Raw(hm), getF64Raw(hm)
+	zkre, zkim := getF64Raw(hm), getF64Raw(hm)
+	rfftPacked(zxre, zxim, x)
+	rfftPacked(zkre, zkim, k)
+	foldTwo(zxre, zxim, zkre, zkim, m, false)
+	PutF64(zkim)
+	PutF64(zkre)
+	fftSoA(zxre, zxim, true)
+	interleaveScaled(out, zxre, zxim, hm)
+	PutF64(zxim)
+	PutF64(zxre)
 	return out
 }

@@ -25,7 +25,7 @@ import (
 	"sync"
 )
 
-// FFT computes the in-place decimation-in-time radix-2 FFT of x.
+// FFT computes the in-place decimation-in-time radix-4/2 FFT of x.
 // len(x) must be a power of two; it panics otherwise (programmer error,
 // callers that need arbitrary sizes use Plan or BluesteinFFT).
 func FFT(x []complex128) {
@@ -67,39 +67,27 @@ func NextPow2(n int) int {
 	return 1 << c
 }
 
-// fftPow2 is the shared radix-2 kernel. All constants come from the
-// package twiddle/bit-reversal tables (see tables.go); inverse selects
-// conjugated twiddles via a sign flip on the imaginary part.
+// fftPow2 is the shared power-of-two transform entry for complex128
+// callers: it deinterleaves into the split-layout scratch (applying the
+// kernel's digit-reversal as a fused gather), runs the SoA radix-4/2
+// ladder (see fft_soa.go), and reinterleaves the natural-order result.
 func fftPow2(x []complex128, inverse bool) {
 	n := len(x)
 	if n <= 1 {
 		return
 	}
-	for i, rj := range revFor(n) {
-		if j := int(rj); j > i {
-			x[i], x[j] = x[j], x[i]
-		}
+	re := GetF64(n)
+	im := GetF64(n)
+	for i, p := range permFor(n) {
+		v := x[p]
+		re[i], im[i] = real(v), imag(v)
 	}
-	sign := 1.0
-	if inverse {
-		sign = -1.0
+	fftSoA(re, im, inverse)
+	for i := range x {
+		x[i] = complex(re[i], im[i])
 	}
-	w := twiddlesFor(n)
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		stride := n / size
-		for start := 0; start < n; start += size {
-			ti := 0
-			for k := start; k < start+half; k++ {
-				wk := complex(real(w[ti]), sign*imag(w[ti]))
-				a := x[k]
-				b := x[k+half] * wk
-				x[k] = a + b
-				x[k+half] = a - b
-				ti += stride
-			}
-		}
-	}
+	PutF64(im)
+	PutF64(re)
 }
 
 // bluestein is the immutable chirp setup for one non-power-of-two

@@ -35,6 +35,17 @@ func FuzzStreamMatcherChunking(f *testing.F) {
 
 		wantRaw := mt.CrossCorrelate(x)
 		wantNorm := mt.NormalizedCrossCorrelate(x)
+		if hlen >= directCorrMin {
+			// The FFT kernel is in play: pin it to the O(n·h) sliding dot
+			// product so a kernel regression can't hide behind the
+			// stream-vs-one-shot comparison (both sides share the kernel).
+			direct := xcorrDirect(x, x[:hlen], false)
+			for i := range direct {
+				if math.Abs(wantRaw[i]-direct[i]) > 1e-9*(1+math.Abs(direct[i])) {
+					t.Fatalf("kernel lag %d: FFT %g vs direct %g", i, wantRaw[i], direct[i])
+				}
+			}
+		}
 		refRaw := feedPartition(mt.Stream(), x, nil)
 		refNorm := feedPartition(mt.StreamNormalized(), x, nil)
 		if len(refRaw) != len(wantRaw) || len(refNorm) != len(wantNorm) {

@@ -2,7 +2,6 @@ package dsp
 
 import (
 	"math"
-	"math/cmplx"
 	"sync"
 )
 
@@ -13,8 +12,14 @@ import (
 // against every stream it ever sees. A Matcher transforms the template
 // once per padded FFT length, caches the conjugated spectrum, and folds
 // the template energy into the normalization, so each correlation costs
-// one forward RFFT of the stream, one pointwise multiply, and one
-// inverse — down from three transforms plus a template-energy pass.
+// one forward RFFT of the stream, one fused multiply-retangle pass, and
+// one inverse — down from three transforms plus a template-energy pass.
+//
+// Cached spectra live in fold order (see foldSpec): rearranged to line
+// up with the fold table's conjugate-pair walk, so the per-call
+// frequency-domain work is one flat pass of float64 loops in the
+// kernel's permuted domain with no complex128 materialization and no
+// natural-order spectrum ever built.
 //
 // Build one Matcher per template and share it freely: the spectrum cache
 // is guarded by a read-write mutex, cached spectra are immutable after
@@ -31,7 +36,7 @@ type Matcher struct {
 	energy float64   // Σ h² — pre-folded normalization energy
 
 	mu    sync.RWMutex
-	specs map[int][]complex128 // padded length m -> conj(RFFT(h, m)), read-only
+	specs map[int]*foldSpec // padded length m -> conj(RFFT(h, m)) in fold order
 }
 
 // NewMatcher builds a matcher around a copy of template.
@@ -41,7 +46,7 @@ func NewMatcher(template []float64) *Matcher {
 	for _, v := range h {
 		e += v * v
 	}
-	return &Matcher{h: h, energy: e, specs: make(map[int][]complex128)}
+	return &Matcher{h: h, energy: e, specs: make(map[int]*foldSpec)}
 }
 
 // Template returns the matcher's internal template copy. Treat it as
@@ -52,8 +57,9 @@ func (mt *Matcher) Template() []float64 { return mt.h }
 func (mt *Matcher) TemplateLen() int { return len(mt.h) }
 
 // spectrum returns the conjugated template spectrum at padded FFT length
-// m (a power of two >= len(h)), computing and caching it on first use.
-func (mt *Matcher) spectrum(m int) []complex128 {
+// m (a power of two >= len(h)) in fold order, computing and caching it on
+// first use.
+func (mt *Matcher) spectrum(m int) *foldSpec {
 	mt.mu.RLock()
 	s := mt.specs[m]
 	mt.mu.RUnlock()
@@ -67,12 +73,16 @@ func (mt *Matcher) spectrum(m int) []complex128 {
 	}
 	pad := GetF64(m)
 	copy(pad, mt.h)
-	s = make([]complex128, m/2+1)
-	RFFT(s, pad)
+	sre := GetF64(m/2 + 1)
+	sim := GetF64(m/2 + 1)
+	rfftInto(sre, sim, pad)
 	PutF64(pad)
-	for i := range s {
-		s[i] = cmplx.Conj(s[i])
+	for i, v := range sim {
+		sim[i] = -v // conj(H)
 	}
+	s = newFoldSpec(sre, sim, m)
+	PutF64(sim)
+	PutF64(sre)
 	mt.specs[m] = s
 	return s
 }
@@ -136,11 +146,14 @@ func (mt *Matcher) corrFFT(x []float64, pooled bool) []float64 {
 		return mt.corrOverlapSave(x, block, pooled)
 	}
 	out := allocResult(len(x)-len(mt.h)+1, pooled)
-	pad := GetF64(oneShot)
-	defer PutF64(pad)
-	copy(pad, x)
-	rfftApplySpectrum(pad, mt.spectrum(oneShot))
-	copy(out, pad)
+	hm := oneShot / 2
+	zre, zim := getF64Raw(hm), getF64Raw(hm)
+	rfftPacked(zre, zim, x)
+	foldSpecMulTo(zre, zim, zre, zim, mt.spectrum(oneShot), oneShot)
+	fftSoA(zre, zim, true)
+	interleaveScaled(out, zre, zim, hm)
+	PutF64(zim)
+	PutF64(zre)
 	return out
 }
 
@@ -155,41 +168,91 @@ func (mt *Matcher) corrOverlapSave(x []float64, blockLen int, pooled bool) []flo
 	valid := blockLen - hlen + 1
 	out := allocResult(nOut, pooled)
 	spec := mt.spectrum(blockLen)
-	pad := GetF64(blockLen)
-	defer PutF64(pad)
+	hm := blockLen / 2
+	zre, zim := getF64Raw(hm), getF64Raw(hm)
 	for p := 0; p < nOut; p += valid {
 		end := p + blockLen
 		if end > len(x) {
 			end = len(x)
 		}
-		n := copy(pad, x[p:end])
-		for i := n; i < blockLen; i++ {
-			pad[i] = 0
-		}
-		rfftApplySpectrum(pad, spec)
+		rfftPacked(zre, zim, x[p:end])
+		foldSpecMulTo(zre, zim, zre, zim, spec, blockLen)
+		fftSoA(zre, zim, true)
 		take := valid
 		if p+take > nOut {
 			take = nOut - p
 		}
-		copy(out[p:p+take], pad[:take])
+		interleaveScaled(out[p:p+take], zre, zim, hm)
 	}
+	PutF64(zim)
+	PutF64(zre)
 	return out
 }
 
 // normalizeByWindowEnergy divides each correlation lag by
-// sqrt(E_window · eh): the sliding window energy of x (via prefix sums)
-// times the precomputed template energy. Windows of (near-)zero energy
-// yield 0. Shared by Matcher and the one-shot NormalizedCrossCorrelate.
+// sqrt(E_window · eh): the sliding window energy of x times the
+// precomputed template energy, in a single rolling pass — two
+// Neumaier-compensated running sums one window apart stand in for a
+// stored prefix array, so window energies stay accurate to rounding
+// however long the stream is. Windows of (near-)zero energy yield 0.
+// Shared by Matcher and the one-shot NormalizedCrossCorrelate.
 func normalizeByWindowEnergy(r, x []float64, hlen int, eh float64) {
 	if r == nil {
 		return
 	}
-	prefix := GetF64(len(x) + 1)
-	defer PutF64(prefix)
-	for i, v := range x {
-		prefix[i+1] = prefix[i] + v*v
+	if eh == 0 {
+		for i := range r {
+			r[i] = 0
+		}
+		return
 	}
-	normalizeWithPrefix(r, prefix, hlen, eh)
+	const eps = 1e-30
+	var hiS, hiC, loS, loC float64 // leading/trailing edge sums + compensations
+	for _, v := range x[:hlen] {
+		hiS, hiC = neumaierAdd(hiS, hiC, v*v)
+	}
+	for k := range r {
+		ex := (hiS + hiC) - (loS + loC)
+		den := math.Sqrt(ex * eh)
+		if den < eps {
+			r[k] = 0
+		} else {
+			r[k] /= den
+		}
+		if next := k + hlen; next < len(x) {
+			hiS, hiC = neumaierAdd(hiS, hiC, x[next]*x[next])
+		}
+		loS, loC = neumaierAdd(loS, loC, x[k]*x[k])
+	}
+}
+
+// neumaierAdd folds y into the compensated running sum (sum, comp):
+// Kahan–Babuška–Neumaier summation, which keeps the low-order bits a
+// plain running sum sheds — over a 10^7-sample stream the plain sum's
+// window energies drift by orders of magnitude more than one ulp.
+func neumaierAdd(sum, comp, y float64) (float64, float64) {
+	t := sum + y
+	if sum >= y {
+		comp += (sum - t) + y
+	} else {
+		comp += (y - t) + sum
+	}
+	return t, comp
+}
+
+// energyPrefix fills prefix (len(x)+1 entries) with the running energy
+// sums prefix[i] = Σ_{j<i} x[j]², accumulated with Neumaier compensation
+// so entries stay accurate to a final rounding at any stream length —
+// the long-stream drift of a plain running sum would otherwise leak into
+// every window energy difference downstream. Shared by the bank and
+// streaming normalization paths, which reuse one prefix across templates.
+func energyPrefix(prefix, x []float64) {
+	prefix[0] = 0
+	var sum, comp float64
+	for i, v := range x {
+		sum, comp = neumaierAdd(sum, comp, v*v)
+		prefix[i+1] = sum + comp
+	}
 }
 
 // normalizeWithPrefix is the normalization core on a precomputed energy
@@ -206,8 +269,10 @@ func normalizeWithPrefix(r, prefix []float64, hlen int, eh float64) {
 		return
 	}
 	const eps = 1e-30
+	lo := prefix[:len(r)]
+	hi := prefix[hlen:][:len(r)]
 	for k := range r {
-		ex := prefix[k+hlen] - prefix[k]
+		ex := hi[k] - lo[k]
 		den := math.Sqrt(ex * eh)
 		if den < eps {
 			r[k] = 0

@@ -83,6 +83,22 @@ func GetF64(n int) []float64 {
 	return make([]float64, n, 1<<c)
 }
 
+// getF64Raw is GetF64 without the zeroing pass: for kernel scratch whose
+// every element is written before it is read (deinterleave targets, fold
+// outputs), the clear is pure memory traffic — it showed up as ~10% of a
+// long correlation in profiles. Callers must overwrite the full length;
+// release with PutF64 as usual.
+func getF64Raw(n int) []float64 {
+	c := sizeClass(n)
+	if c < 0 {
+		return make([]float64, n)
+	}
+	if v := f64Pools[c].Get(); v != nil {
+		return (*v.(*[]float64))[:n]
+	}
+	return make([]float64, n, 1<<c)
+}
+
 // PutF64 returns a buffer obtained from GetF64 to the pool.
 func PutF64(s []float64) {
 	c := sizeClass(cap(s))
