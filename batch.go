@@ -2,7 +2,6 @@ package uwpos
 
 import (
 	"context"
-	"fmt"
 	"math/rand"
 
 	"uwpos/internal/engine"
@@ -67,7 +66,7 @@ func (s *System) LocateN(ctx context.Context, n int, opt BatchOptions) ([]BatchO
 		if err != nil {
 			return BatchOutcome{Trial: trial, Err: err}
 		}
-		out, err := sys.Locate()
+		out, err := sys.Locate(ctx)
 		return BatchOutcome{Trial: trial, Outcome: out, Err: err}
 	})
 }
@@ -79,7 +78,7 @@ func (s *System) LocateN(ctx context.Context, n int, opt BatchOptions) ([]BatchO
 // run in one call.
 func Batch(ctx context.Context, scenarios []SystemConfig, opt BatchOptions) ([]BatchOutcome, error) {
 	if len(scenarios) == 0 {
-		return nil, fmt.Errorf("uwpos: empty batch")
+		return nil, ConfigError{Field: "Scenarios", Reason: "empty batch"}
 	}
 	cfg := engine.Config{Workers: opt.Workers}
 	return runBatch(ctx, cfg, len(scenarios), opt, func(i int, _ *rand.Rand) BatchOutcome {
@@ -87,7 +86,7 @@ func Batch(ctx context.Context, scenarios []SystemConfig, opt BatchOptions) ([]B
 		if err != nil {
 			return BatchOutcome{Trial: i, Err: err}
 		}
-		out, err := sys.Locate()
+		out, err := sys.Locate(ctx)
 		return BatchOutcome{Trial: i, Outcome: out, Err: err}
 	})
 }

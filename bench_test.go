@@ -3,7 +3,7 @@
 // (the full-fidelity tables come from cmd/uwbench) and reports the
 // figure's headline statistic as a custom metric, so `go test -bench=.`
 // doubles as a regression harness for the reproduced results.
-package uwpos
+package uwpos_test
 
 import (
 	"math"

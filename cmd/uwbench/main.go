@@ -69,7 +69,11 @@ func registry() map[string]runner {
 		},
 		"battery":   func(o experiments.Options) *stats.Table { return experiments.Battery(o) },
 		"streaming": func(o experiments.Options) *stats.Table { return experiments.Streaming(o) },
-		"headline":  experiments.Headline,
+		// "service" is a load test of the uwposd serving stack: its table
+		// reports wall-clock latencies, so it stays out of the
+		// deterministic "all" ordering and the baseline timing gate.
+		"service":  func(o experiments.Options) *stats.Table { return experiments.Service(o) },
+		"headline": experiments.Headline,
 		"ablation-bandwindow": func(o experiments.Options) *stats.Table {
 			_, t := experiments.AblationBandWindow(o)
 			return t
@@ -271,6 +275,7 @@ func main() {
 		out      = flag.String("out", "", "write tables + timings as JSON to this file (CI artifact)")
 		baseline = flag.String("baseline", "", "compare timings against a previous -out file; exit 1 on >25% regression")
 		profile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
+		svcAddr  = flag.String("service-addr", "", "live uwposd address for -experiment service (empty = in-process server)")
 	)
 	flag.Parse()
 
@@ -301,7 +306,7 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Seed: *seed, Samples: *samples, Quick: *quick, Workers: *workers}
+	opt := experiments.Options{Seed: *seed, Samples: *samples, Quick: *quick, Workers: *workers, ServiceAddr: *svcAddr}
 	var meter *progressMeter
 	if *progress {
 		meter = &progressMeter{}

@@ -1,0 +1,84 @@
+// Command uwposd is the resident positioning service: a long-running
+// daemon that hosts concurrent ranging/localization sessions over an
+// HTTP+JSON API. Each session wraps one simulated dive-group deployment;
+// rounds within a session are serialized, sessions run concurrently under
+// a process-wide execution bound, and idle sessions are TTL-evicted.
+//
+// Usage:
+//
+//	uwposd [-listen :8089] [-max-sessions 8192] [-max-rounds N]
+//	       [-session-ttl 10m] [-round-timeout 2m]
+//
+// API (see internal/service):
+//
+//	POST   /v1/sessions              {"env":"dock","divers":[{"x":0,"y":0,"z":2},...],"seed":5}
+//	POST   /v1/sessions/{id}/rounds  {"timeout_ms":30000}
+//	GET    /v1/sessions/{id}/track?at_sec=42
+//	DELETE /v1/sessions/{id}
+//	GET    /v1/healthz
+//	GET    /v1/statz
+//
+// SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"uwpos/internal/service"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", ":8089", "listen address")
+		maxSessions  = flag.Int("max-sessions", 0, "session registry cap (0 = default 8192)")
+		maxRounds    = flag.Int("max-rounds", 0, "concurrent round executions (0 = GOMAXPROCS)")
+		sessionTTL   = flag.Duration("session-ttl", 0, "idle session eviction (0 = default 10m, <0 = never)")
+		roundTimeout = flag.Duration("round-timeout", 0, "default per-round deadline (0 = default 2m, <0 = none)")
+	)
+	flag.Parse()
+
+	srv := service.NewServer(service.Config{
+		MaxSessions:         *maxSessions,
+		MaxConcurrentRounds: *maxRounds,
+		SessionTTL:          *sessionTTL,
+		RoundTimeout:        *roundTimeout,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("uwposd: %v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	log.Printf("uwposd: serving on %s", ln.Addr())
+	fmt.Printf("listening on %s\n", ln.Addr()) // parseable by smoke scripts
+
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("uwposd: %v, draining", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("uwposd: shutdown: %v", err)
+		}
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("uwposd: %v", err)
+		}
+	}
+}

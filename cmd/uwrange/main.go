@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ func main() {
 		trials  = flag.Int("trials", 20, "exchanges per distance")
 		depthM  = flag.Float64("depth", 2.5, "device depth in metres")
 		seed    = flag.Int64("seed", 1, "random seed")
+		timeout = flag.Duration("timeout", 0, "per-exchange deadline (0 = none)")
 	)
 	flag.Parse()
 
@@ -44,12 +46,23 @@ func main() {
 		var errs []float64
 		detected := 0
 		for t := 0; t < *trials; t++ {
-			est, tru, err := uwpos.RangeBetween(env, d, *depthM, *depthM, *seed+int64(t)*887)
+			ctx, cancel := context.Background(), func() {}
+			if *timeout > 0 {
+				ctx, cancel = context.WithTimeout(ctx, *timeout)
+			}
+			out, err := uwpos.RangeBetween(ctx, uwpos.RangeConfig{
+				Env:         env,
+				SeparationM: d,
+				DepthAM:     *depthM,
+				DepthBM:     *depthM,
+				Seed:        *seed + int64(t)*887,
+			})
+			cancel()
 			if err != nil {
 				continue
 			}
 			detected++
-			e := est - tru
+			e := out.EstimatedM - out.TrueM
 			if e < 0 {
 				e = -e
 			}

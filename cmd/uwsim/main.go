@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -102,7 +103,7 @@ func main() {
 	}
 	fmt.Printf("running one localization round: %d divers, %s environment, seed %d\n",
 		*n, env.Name, *seed)
-	out, err := sys.Locate()
+	out, err := sys.Locate(context.Background())
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,53 @@
+package uwpos
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The public API reports failures as typed errors so concurrent callers —
+// in particular the uwposd session service — can branch on failure class
+// with errors.Is/errors.As instead of matching message strings, and map
+// each class to a transport-level outcome (HTTP status, degraded response,
+// retry).
+var (
+	// ErrNotDetected reports that an acoustic exchange completed without a
+	// detectable arrival — a soft, scenario-dependent failure (out of
+	// range, severe multipath). Callers serving live sessions should treat
+	// it as degraded conditions, not a fault.
+	ErrNotDetected = errors.New("uwpos: exchange not detected")
+
+	// ErrTooFewDivers reports a deployment below the three-device minimum
+	// the topology solve needs (§2.1; with two devices only pairwise
+	// ranging is defined — use RangeBetween).
+	ErrTooFewDivers = errors.New("uwpos: need at least 3 divers")
+
+	// ErrRoundOutOfOrder reports a tracker fix whose timestamp precedes an
+	// already-consumed round.
+	ErrRoundOutOfOrder = errors.New("uwpos: round out of order")
+
+	// ErrDeviceIndexGap reports a localization result whose device indices
+	// do not form the contiguous set 0..N-1 (a missing, duplicated or
+	// out-of-range device entry).
+	ErrDeviceIndexGap = errors.New("uwpos: device indices not contiguous")
+)
+
+// ConfigError reports an invalid configuration field. It is returned by
+// constructors and entry points for caller mistakes (as opposed to
+// scenario-dependent runtime failures), so services can map it to a 4xx
+// response with the offending field named.
+type ConfigError struct {
+	// Field names the configuration field, e.g. "Env" or "Divers".
+	Field string
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+func (e ConfigError) Error() string {
+	return fmt.Sprintf("uwpos: config %s: %s", e.Field, e.Reason)
+}
+
+// configErrf builds a ConfigError with a formatted reason.
+func configErrf(field, format string, args ...any) error {
+	return ConfigError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}

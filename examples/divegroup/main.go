@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,7 +45,7 @@ func run(cfg uwpos.SystemConfig) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, err := sys.Locate()
+	out, err := sys.Locate(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

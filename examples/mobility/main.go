@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,7 +38,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		out, err := sys.Locate()
+		out, err := sys.Locate(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}

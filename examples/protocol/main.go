@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,7 @@ func show(cfg uwpos.SystemConfig) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, err := sys.Locate()
+	out, err := sys.Locate(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,7 @@ func main() {
 	}
 
 	// One round: acoustic protocol, ranging, report-back, localization.
-	out, err := sys.Locate()
+	out, err := sys.Locate(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -19,12 +20,16 @@ func main() {
 		var errs []float64
 		var lastEst, lastTrue float64
 		for trial := int64(0); trial < 5; trial++ {
-			est, tru, err := uwpos.RangeBetween(env, d, 2.5, 2.5, 100+trial*31)
+			// The context-aware entry point: a dive-computer app would put
+			// a deadline here; the batch example accepts the default.
+			out, err := uwpos.RangeBetween(context.Background(), uwpos.RangeConfig{
+				Env: env, SeparationM: d, DepthAM: 2.5, DepthBM: 2.5, Seed: 100 + trial*31,
+			})
 			if err != nil {
 				continue
 			}
-			errs = append(errs, math.Abs(est-tru))
-			lastEst, lastTrue = est, tru
+			errs = append(errs, math.Abs(out.EstimatedM-out.TrueM))
+			lastEst, lastTrue = out.EstimatedM, out.TrueM
 		}
 		if len(errs) == 0 {
 			fmt.Printf("%7.1f   (no detection)\n", d)

@@ -1,0 +1,131 @@
+// Serve: the positioning service end to end in one process — start the
+// session API on a loopback port, drive a session through it with plain
+// HTTP (create → rounds → track → delete), and shut down. This is exactly
+// what `uwposd` serves; here the client and server share a process so the
+// example terminates on its own.
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"uwpos/internal/service"
+)
+
+func main() {
+	srv := service.NewServer(service.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Printf("service up at %s\n\n", ts.URL)
+
+	// Create a 4-diver session at the dock site.
+	spec := map[string]any{
+		"env": "dock",
+		"divers": []map[string]any{
+			{"x": 0, "y": 0, "z": 2},
+			{"x": 7, "y": 1, "z": 2.5},
+			{"x": 13, "y": -5, "z": 1.5},
+			{"x": 10, "y": 8, "z": 3.5},
+		},
+		"seed": 11,
+	}
+	var created struct {
+		ID      string `json:"id"`
+		Devices int    `json:"devices"`
+	}
+	post(ts.URL+"/v1/sessions", spec, &created)
+	fmt.Printf("session %s: %d devices\n", created.ID, created.Devices)
+
+	// Run three rounds; the session clock advances 10 s per round.
+	for i := 0; i < 3; i++ {
+		var round struct {
+			Round     int     `json:"round"`
+			AtSec     float64 `json:"at_sec"`
+			Degraded  bool    `json:"degraded"`
+			StressM   float64 `json:"residual_stress_m"`
+			ElapsedMS float64 `json:"elapsed_ms"`
+		}
+		post(ts.URL+"/v1/sessions/"+created.ID+"/rounds", map[string]any{}, &round)
+		fmt.Printf("round %d at t=%gs: stress %.2f m, degraded=%v, %.0f ms\n",
+			round.Round, round.AtSec, round.StressM, round.Degraded, round.ElapsedMS)
+	}
+
+	// Extrapolate the track 5 s past the last fix.
+	var track struct {
+		AtSec     float64 `json:"at_sec"`
+		Rounds    int     `json:"rounds"`
+		Positions []struct {
+			Device      int     `json:"device"`
+			X           float64 `json:"x"`
+			Y           float64 `json:"y"`
+			Z           float64 `json:"z"`
+			ConfidenceM float64 `json:"confidence_m"`
+		} `json:"positions"`
+	}
+	get(ts.URL+"/v1/sessions/"+created.ID+"/track?at_sec=25", &track)
+	fmt.Printf("\ntrack at t=%gs after %d rounds:\n", track.AtSec, track.Rounds)
+	for _, p := range track.Positions {
+		fmt.Printf("  diver %d: (%6.2f, %6.2f) depth %.1f m  ±%.2f m\n",
+			p.Device, p.X, p.Y, p.Z, p.ConfidenceM)
+	}
+
+	// Tear down and show the service counters.
+	del(ts.URL + "/v1/sessions/" + created.ID)
+	var statz struct {
+		Rounds struct {
+			Total    int64 `json:"total"`
+			Degraded int64 `json:"degraded"`
+			Failed   int64 `json:"failed"`
+		} `json:"rounds"`
+		LatencyMS map[string]struct {
+			P50 float64 `json:"p50"`
+			P99 float64 `json:"p99"`
+		} `json:"latency_ms"`
+	}
+	get(ts.URL+"/v1/statz", &statz)
+	fmt.Printf("\nstatz: %d rounds (%d degraded, %d failed), round p50 %.0f ms p99 %.0f ms\n",
+		statz.Rounds.Total, statz.Rounds.Degraded, statz.Rounds.Failed,
+		statz.LatencyMS["round_e2e"].P50, statz.LatencyMS["round_e2e"].P99)
+}
+
+func post(url string, body, out any) {
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		log.Fatalf("POST %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func del(url string) {
+	req, _ := http.NewRequest(http.MethodDelete, url, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+}

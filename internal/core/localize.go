@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -81,8 +82,10 @@ type Result struct {
 	OutlierSearch bool
 }
 
-// Localize runs the full pipeline.
-func Localize(in Input, cfg Config) (*Result, error) {
+// Localize runs the full pipeline. ctx bounds the outlier search, which
+// re-solves the topology once per candidate drop subset; it is checked
+// between solves, so cancellation lands within one solve's latency.
+func Localize(ctx context.Context, in Input, cfg Config) (*Result, error) {
 	n := len(in.D)
 	if n < 3 {
 		return nil, fmt.Errorf("core: need at least 3 devices, got %d (two divers can only range)", n)
@@ -102,7 +105,7 @@ func Localize(in Input, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	planar, normStress, dropped, searched, err := DetectOutliers(d2d, in.W, cfg)
+	planar, normStress, dropped, searched, err := DetectOutliers(ctx, d2d, in.W, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -168,7 +171,7 @@ func wAt(w [][]float64, i, j int) float64 {
 // exceeds the acceptance threshold, search over drop subsets of growing
 // size — restricted to subsets whose removal keeps the link graph uniquely
 // realizable — keeping the candidate with the greatest stress reduction.
-func DetectOutliers(d2d, w [][]float64, cfg Config) (pos []geom.Vec2, stress float64, dropped []graph.Edge, searched bool, err error) {
+func DetectOutliers(ctx context.Context, d2d, w [][]float64, cfg Config) (pos []geom.Vec2, stress float64, dropped []graph.Edge, searched bool, err error) {
 	if cfg.StressAccept == 0 {
 		cfg = DefaultConfig()
 	}
@@ -191,6 +194,9 @@ func DetectOutliers(d2d, w [][]float64, cfg Config) (pos []geom.Vec2, stress flo
 		pMin := p0
 		var bestDrop []graph.Edge
 		graph.Subsets(edges, nDrop, func(drop []graph.Edge) bool {
+			if ctx.Err() != nil {
+				return false // cancelled: stop enumerating subsets
+			}
 			if !g.WithoutEdges(drop).UniquelyRealizable() {
 				return true // skip: solution would not be unique
 			}
@@ -210,6 +216,9 @@ func DetectOutliers(d2d, w [][]float64, cfg Config) (pos []geom.Vec2, stress flo
 			}
 			return true
 		})
+		if err := ctx.Err(); err != nil {
+			return nil, 0, nil, true, err
+		}
 		if eMin < cfg.StressAccept {
 			return pMin, eMin, bestDrop, true, nil
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -72,7 +73,7 @@ var dockTruth = []geom.Vec3{
 
 func TestLocalizeExactRecovery(t *testing.T) {
 	in := scenario(dockTruth)
-	res, err := Localize(in, DefaultConfig())
+	res, err := Localize(context.Background(), in, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestLocalizeExactRecovery(t *testing.T) {
 }
 
 func TestLocalizeLeaderAtOrigin(t *testing.T) {
-	res, err := Localize(scenario(dockTruth), DefaultConfig())
+	res, err := Localize(context.Background(), scenario(dockTruth), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,22 +117,22 @@ func angleDiff(a, b float64) float64 {
 
 func TestLocalizeInputValidation(t *testing.T) {
 	in := scenario(dockTruth[:3])
-	if _, err := Localize(Input{D: in.D[:2], W: in.W[:2], Depths: in.Depths[:2]}, DefaultConfig()); err == nil {
+	if _, err := Localize(context.Background(), Input{D: in.D[:2], W: in.W[:2], Depths: in.Depths[:2]}, DefaultConfig()); err == nil {
 		t.Error("n=2 should error (ranging only)")
 	}
 	bad := scenario(dockTruth)
 	bad.Depths = bad.Depths[:2]
-	if _, err := Localize(bad, DefaultConfig()); err == nil {
+	if _, err := Localize(context.Background(), bad, DefaultConfig()); err == nil {
 		t.Error("bad depth length should error")
 	}
 	noLink := scenario(dockTruth)
 	noLink.W[0][1], noLink.W[1][0] = 0, 0
-	if _, err := Localize(noLink, DefaultConfig()); err == nil {
+	if _, err := Localize(context.Background(), noLink, DefaultConfig()); err == nil {
 		t.Error("missing leader-pointed link should error")
 	}
 	badSigns := scenario(dockTruth)
 	badSigns.MicSigns = []int{0}
-	if _, err := Localize(badSigns, DefaultConfig()); err == nil {
+	if _, err := Localize(context.Background(), badSigns, DefaultConfig()); err == nil {
 		t.Error("bad MicSigns length should error")
 	}
 }
@@ -172,7 +173,7 @@ func TestLocalizeWithMissingLinks(t *testing.T) {
 	for _, e := range [][2]int{{2, 3}, {4, 5}} {
 		in.W[e[0]][e[1]], in.W[e[1]][e[0]] = 0, 0
 	}
-	res, err := Localize(in, DefaultConfig())
+	res, err := Localize(context.Background(), in, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestLocalizeDetectsOutlier(t *testing.T) {
 	// Occluded link 0–2: severe multipath inflates the distance by 9 m.
 	in.D[0][2] += 9
 	in.D[2][0] = in.D[0][2]
-	res, err := Localize(in, DefaultConfig())
+	res, err := Localize(context.Background(), in, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestOutlierSearchRespectsRealizabilityGate(t *testing.T) {
 	in := scenario(truth)
 	in.D[0][2] += 9
 	in.D[2][0] = in.D[0][2]
-	res, err := Localize(in, DefaultConfig())
+	res, err := Localize(context.Background(), in, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +355,7 @@ func TestLocalizeNoisyProperty(t *testing.T) {
 				in.D[j][i] = in.D[i][j]
 			}
 		}
-		res, err := Localize(in, DefaultConfig())
+		res, err := Localize(context.Background(), in, DefaultConfig())
 		if err != nil {
 			return false
 		}
@@ -386,7 +387,7 @@ func BenchmarkLocalize6(b *testing.B) {
 	cfg := DefaultConfig()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := Localize(in, cfg); err != nil {
+		if _, err := Localize(context.Background(), in, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -403,7 +404,7 @@ func BenchmarkLocalizeWithOutlier6(b *testing.B) {
 	cfg := DefaultConfig()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := Localize(in, cfg); err != nil {
+		if _, err := Localize(context.Background(), in, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -35,6 +36,9 @@ type Options struct {
 	// serialized on the experiment's goroutine; the callback must not
 	// block for long (it stalls result delivery, not the trials).
 	Progress func(v float64)
+	// ServiceAddr points the service load-test experiment at a live
+	// uwposd daemon ("host:port" or full URL). Empty = in-process server.
+	ServiceAddr string
 }
 
 // observe forwards one trial scalar to the Progress hook, if any.
@@ -187,7 +191,7 @@ func analyticalTrial(rng *rand.Rand, truth []geom.Vec3, e1d, eh, eThetaRad float
 		}
 	}
 	bearing := truth[1].Sub(truth[0]).XY().Angle() + uniform(rng, eThetaRad)
-	res, err := core.Localize(core.Input{
+	res, err := core.Localize(context.Background(), core.Input{
 		D: d, W: w, Depths: depths, MicSigns: signs, PointingBearing: bearing,
 	}, core.DefaultConfig())
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -64,7 +65,7 @@ func streamRounds(opt Options, salt int64, mk func(trial int, rng *rand.Rand) si
 		if err != nil {
 			return slot{}
 		}
-		round, err := nw.RunRound()
+		round, err := nw.RunRound(context.Background())
 		if err != nil {
 			return slot{}
 		}
@@ -86,7 +87,7 @@ func staticTestbed(env *channel.Environment) func(int, *rand.Rand) sim.Config {
 // (excluding the leader) alongside their true link distances to the
 // leader.
 func localizeErrors(rd roundData, cfg core.Config) (errs, linkDist []float64, ok bool) {
-	loc, err := rd.nw.LocalizeRound(rd.round, rd.bearing, cfg)
+	loc, err := rd.nw.LocalizeRound(context.Background(), rd.round, rd.bearing, cfg)
 	if err != nil {
 		return nil, nil, false
 	}
@@ -272,7 +273,7 @@ func relocalize(rd roundData, d, w [][]float64) ([]float64, bool) {
 		D: d, W: w, Depths: rd.round.Depths, MicSigns: rd.round.MicSigns,
 		PointingBearing: rd.bearing,
 	}
-	res, err := core.Localize(in, core.DefaultConfig())
+	res, err := core.Localize(context.Background(), in, core.DefaultConfig())
 	if err != nil {
 		return nil, false
 	}
@@ -309,7 +310,7 @@ func relocalizeWithoutNode(rd roundData, drop int) ([]float64, bool) {
 			w[a][b] = rd.round.W[ia][ib]
 		}
 	}
-	res, err := core.Localize(core.Input{
+	res, err := core.Localize(context.Background(), core.Input{
 		D: d, W: w, Depths: depths, MicSigns: signs, PointingBearing: rd.bearing,
 	}, core.DefaultConfig())
 	if err != nil {
@@ -386,7 +387,7 @@ func Fig20(opt Options) (map[string][]float64, *stats.Table) {
 			sks[keyFor(mover, user)] = stats.NewSketch()
 		}
 		streamRounds(opt, saltFig20+int64(mover), mk, rounds, func(rd roundData) {
-			loc, err := rd.nw.LocalizeRound(rd.round, rd.bearing, core.DefaultConfig())
+			loc, err := rd.nw.LocalizeRound(context.Background(), rd.round, rd.bearing, core.DefaultConfig())
 			if err != nil {
 				return
 			}
@@ -437,7 +438,7 @@ func RTT(opt Options) (map[int]float64, *stats.Table) {
 				if err != nil {
 					return math.NaN()
 				}
-				round, err := nw.RunRound()
+				round, err := nw.RunRound(context.Background())
 				if err != nil {
 					return math.NaN()
 				}

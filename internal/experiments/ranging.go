@@ -22,7 +22,7 @@ func rangeOnce(cfg sim.Config, method sim.RangingMethod) sim.RangeTrialResult {
 	if err != nil {
 		return sim.RangeTrialResult{}
 	}
-	res, err := nw.RangeOnce(method)
+	res, err := nw.RangeOnce(context.Background(), method)
 	if err != nil {
 		return sim.RangeTrialResult{}
 	}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// allowlist names the error-returning public functions that legitimately
+// skip the context-first rule, with the reason on record.
+var allowlist = map[string]string{
+	"EnvironmentByName":     "pure map lookup, nothing to cancel",
+	"GroupTracker.AddRound": "in-memory filter update, microseconds",
+}
+
+// TestPublicAPITakesContext is the vet-level gate from the service work:
+// no exported uwpos function that can fail may lack a context.Context
+// first parameter, so every failure path a server depends on is
+// deadline-boundable.
+func TestPublicAPITakesContext(t *testing.T) {
+	rep, err := Check("../..", allowlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("public API: %s", v)
+	}
+
+	// The entry points the daemon and batch layers rely on must stay
+	// context-first — a rename or signature regression fails here even
+	// if the rule above would exempt the new shape.
+	for _, name := range []string{
+		"Localize",
+		"RangeBetween",
+		"System.Locate",
+		"System.LocateN",
+		"Batch",
+	} {
+		if !rep.CtxFirst[name] {
+			t.Errorf("%s no longer takes context.Context first", name)
+		}
+	}
+}
+
+// TestCheckFlagsViolations proves the analyzer actually fires: the sim
+// package predates the rule in places and is not public API, but any
+// exported error-returning function there without ctx must be reported
+// when checked directly.
+func TestCheckSelfConsistency(t *testing.T) {
+	rep, err := Check("../..", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the allowlist the two exempted-by-list functions become
+	// violations — the analyzer is not vacuously green.
+	found := 0
+	for _, v := range rep.Violations {
+		if strings.Contains(v, "EnvironmentByName") || strings.Contains(v, "GroupTracker.AddRound") {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("expected the 2 allowlisted functions to be flagged without the allowlist, got %d in %v",
+			found, rep.Violations)
+	}
+}

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentSessionsHammer drives many sessions through the full HTTP
+// lifecycle at once while statz polls and eviction sweeps race along —
+// run under -race this is the service layer's concurrency proof. Round
+// execution dominates the wall clock, so the session count stays modest;
+// the uwbench service experiment is the scale test.
+func TestConcurrentSessionsHammer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hammer is expensive")
+	}
+	// A real (long) TTL so the racing evictIdle sweeps do full
+	// last-used comparisons instead of no-opping.
+	srv, ts := newTestServer(t, Config{MaxConcurrentRounds: 4, SessionTTL: time.Hour})
+
+	const sessions = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			step := func(wantStatus, status int, stage string, body map[string]any) bool {
+				if status != wantStatus {
+					errs <- fmt.Errorf("session %d %s: status %d (%v)", i, stage, status, body)
+					return false
+				}
+				return true
+			}
+			status, created := doReq(t, "POST", ts.URL+"/v1/sessions", poolSpec(int64(100+i*13)))
+			if !step(http.StatusCreated, status, "create", created) {
+				return
+			}
+			id := created["id"].(string)
+			status, round := doReq(t, "POST", ts.URL+"/v1/sessions/"+id+"/rounds", map[string]any{})
+			if !step(http.StatusOK, status, "round", round) {
+				return
+			}
+			if round["degraded"].(bool) {
+				// Degraded is allowed but unexpected in a clean pool
+				// scenario; surface it without failing.
+				t.Logf("session %d: degraded round (%v)", i, round["reason"])
+			}
+			status, track := doReq(t, "GET", ts.URL+"/v1/sessions/"+id+"/track", nil)
+			if !step(http.StatusOK, status, "track", track) {
+				return
+			}
+			status, _ = doReq(t, "DELETE", ts.URL+"/v1/sessions/"+id, nil)
+			step(http.StatusNoContent, status, "delete", nil)
+		}(i)
+	}
+
+	// Racing observers: statz polling and eviction sweeps must be safe
+	// against live round execution.
+	stop := make(chan struct{})
+	var obs sync.WaitGroup
+	obs.Add(1)
+	go func() {
+		defer obs.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				doReq(t, "GET", ts.URL+"/v1/statz", nil)
+				srv.evictIdle(time.Now())
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	obs.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := srv.Stats()
+	if st.Rounds.Failed != 0 {
+		t.Errorf("%d hard-failed rounds", st.Rounds.Failed)
+	}
+	if st.Rounds.Total != sessions {
+		t.Errorf("rounds total %d, want %d", st.Rounds.Total, sessions)
+	}
+	if st.Sessions.Created != sessions {
+		t.Errorf("sessions created %d, want %d", st.Sessions.Created, sessions)
+	}
+	if got := srv.ActiveSessions(); got != 0 {
+		t.Errorf("%d sessions left active", got)
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -129,7 +130,7 @@ func TestOcclusionCreatesDistanceOutlier(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := nw.RangeOnce(MethodDualMic)
+	res, err := nw.RangeOnce(context.Background(), MethodDualMic)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 
 	"uwpos/internal/core"
@@ -33,8 +34,8 @@ type LocalizeResult struct {
 // LocalizeRound feeds a protocol round into the topology pipeline and
 // scores it against ground truth. bearing is the leader's pointing bearing
 // in the world frame (from LeaderOrientation); cfg zero-value uses the
-// paper defaults.
-func (nw *Network) LocalizeRound(res *RoundResult, bearing float64, cfg core.Config) (*LocalizeResult, error) {
+// paper defaults. ctx bounds the topology solve's outlier search.
+func (nw *Network) LocalizeRound(ctx context.Context, res *RoundResult, bearing float64, cfg core.Config) (*LocalizeResult, error) {
 	if cfg.StressAccept == 0 {
 		cfg = core.DefaultConfig()
 	}
@@ -45,7 +46,7 @@ func (nw *Network) LocalizeRound(res *RoundResult, bearing float64, cfg core.Con
 		MicSigns:        res.MicSigns,
 		PointingBearing: bearing,
 	}
-	cr, err := core.Localize(in, cfg)
+	cr, err := core.Localize(ctx, in, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -62,7 +63,12 @@ func (r RangeTrialResult) AbsError() float64 {
 // arrival estimate, and A converts the round trip to distance — so the
 // method's estimation error enters at both ends, as in the paper's
 // benchmarks.
-func (nw *Network) RangeOnce(method RangingMethod) (RangeTrialResult, error) {
+//
+// ctx is checked at each stage boundary (calibration, each direction's
+// arrival estimation); a cancelled or expired context aborts the exchange
+// with the context's error. An uncancelled ctx leaves execution — and
+// every RNG draw — identical to a deadline-free run.
+func (nw *Network) RangeOnce(ctx context.Context, method RangingMethod) (RangeTrialResult, error) {
 	if nw.N() < 2 {
 		return RangeTrialResult{}, fmt.Errorf("sim: ranging needs 2 devices")
 	}
@@ -80,7 +86,7 @@ func (nw *Network) RangeOnce(method RangingMethod) (RangeTrialResult, error) {
 	// so the audio slabs go straight back to the pool.
 	defer nw.releaseAudio()
 	nw.addNoise()
-	if err := nw.calibrateAll(); err != nil {
+	if err := nw.calibrateAll(ctx); err != nil {
 		return RangeTrialResult{}, err
 	}
 	a, b := nw.devices[0], nw.devices[1]
@@ -93,6 +99,9 @@ func (nw *Network) RangeOnce(method RangingMethod) (RangeTrialResult, error) {
 	nw.renderTransmission(a, txIdx, wave, a.stack.SpeakerIndexToTime(float64(txIdx)))
 
 	// B estimates arrival and replies.
+	if err := ctx.Err(); err != nil {
+		return RangeTrialResult{}, err
+	}
 	arrB, okB := nw.estimateArrival(b, method, wave, int(calWindowEnd*fs))
 	if !okB {
 		return RangeTrialResult{TrueM: nw.trueRange(), Detected: false}, nil
@@ -103,6 +112,9 @@ func (nw *Network) RangeOnce(method RangingMethod) (RangeTrialResult, error) {
 	nw.renderTransmission(b, replyIdx, wave, b.stack.SpeakerIndexToTime(float64(replyIdx)))
 
 	// A estimates the reply arrival, skipping its own transmission.
+	if err := ctx.Err(); err != nil {
+		return RangeTrialResult{}, err
+	}
 	searchFrom := txIdx + len(wave)
 	arrA, okA := nw.estimateArrival(a, method, wave, searchFrom)
 	if !okA {

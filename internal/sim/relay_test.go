@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -27,7 +28,7 @@ func TestRelaySyncWhenLeaderUnheard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	round, err := nw.RunRound()
+	round, err := nw.RunRound(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestRelaySyncWhenLeaderUnheard(t *testing.T) {
 	// Localization still possible: the graph without 0-4 is uniquely
 	// realizable for 5 nodes.
 	_, bearing := LeaderOrientation(cfg.Devices[0].Pos, cfg.Devices[1].Pos, 0)
-	loc, err := nw.LocalizeRound(round, bearing, core.Config{})
+	loc, err := nw.LocalizeRound(context.Background(), round, bearing, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,14 +85,14 @@ func TestThreeDeviceMinimum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	round, err := nw.RunRound()
+	round, err := nw.RunRound(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if round.Latency < 1.0 || round.Latency > 1.5 {
 		t.Errorf("N=3 latency %.2f s, want ≈1.24", round.Latency)
 	}
-	loc, err := nw.LocalizeRound(round, bearing, core.Config{})
+	loc, err := nw.LocalizeRound(context.Background(), round, bearing, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestWatchInTheGroup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	round, err := nw.RunRound()
+	round, err := nw.RunRound(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

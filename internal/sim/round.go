@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -46,7 +47,14 @@ type RoundResult struct {
 
 // RunRound executes calibration, the timestamp protocol, receiver
 // processing, the report-back phase and distance computation.
-func (nw *Network) RunRound() (*RoundResult, error) {
+//
+// ctx is checked at stage boundaries — after setup, per device during
+// calibration and final receiver processing, and before the report
+// decode — so a server-imposed deadline or cancellation aborts the round
+// within roughly one device's processing latency. When ctx is never
+// cancelled the execution (and every RNG draw) is identical to a run
+// without a deadline, keeping trial results byte-reproducible.
+func (nw *Network) RunRound(ctx context.Context) (*RoundResult, error) {
 	n := nw.N()
 	dur := nw.streamDuration()
 	if err := nw.setupDevices(dur); err != nil {
@@ -58,7 +66,7 @@ func (nw *Network) RunRound() (*RoundResult, error) {
 	// end and the next trial on this worker reuses the slabs.
 	defer nw.releaseAudio()
 	nw.addNoise()
-	if err := nw.calibrateAll(); err != nil {
+	if err := nw.calibrateAll(ctx); err != nil {
 		return nil, err
 	}
 
@@ -75,12 +83,18 @@ func (nw *Network) RunRound() (*RoundResult, error) {
 	// wrap pass (§2.3's "not all devices are in leader's range").
 	var deferred []*simDevice
 	for i := 1; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if !nw.scheduleReply(nw.devices[i]) {
 			deferred = append(deferred, nw.devices[i])
 		}
 	}
 	var silent []int
 	for _, d := range deferred {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if !nw.scheduleReply(d) {
 			silent = append(silent, d.id)
 		}
@@ -88,9 +102,15 @@ func (nw *Network) RunRound() (*RoundResult, error) {
 
 	// Final receiver processing on complete streams.
 	for _, d := range nw.devices {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := nw.processArrivals(d); err != nil {
 			return nil, fmt.Errorf("sim: device %d processing: %w", d.id, err)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	res := &RoundResult{
@@ -192,8 +212,8 @@ func (nw *Network) addNoise() {
 }
 
 // calibrateAll plays and detects the self-calibration chirp on every
-// device (appendix, Fig. 21).
-func (nw *Network) calibrateAll() error {
+// device (appendix, Fig. 21). ctx is checked once per device scan.
+func (nw *Network) calibrateAll(ctx context.Context) error {
 	bank := calibrationBank(nw.params)
 	wave := bank.Matcher(0).Template() // shared, read-only; WriteSpeaker and rendering copy
 	fs := nw.params.SampleRate
@@ -207,6 +227,9 @@ func (nw *Network) calibrateAll() error {
 		nw.renderTransmission(d, idx, wave, d.stack.SpeakerIndexToTime(float64(idx)))
 	}
 	for i, d := range nw.devices {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		end := int(calWindowEnd * fs)
 		stream := d.stack.Mic(0)
 		if end > len(stream) {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -63,7 +64,7 @@ func TestRangeOnceDualMic10m(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := nw.RangeOnce(MethodDualMic)
+	res, err := nw.RangeOnce(context.Background(), MethodDualMic)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestRangeOnceAllMethodsDetect(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := nw.RangeOnce(m)
+		res, err := nw.RangeOnce(context.Background(), m)
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -135,7 +136,7 @@ func TestFullRoundFiveDevices(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	round, err := nw.RunRound()
+	round, err := nw.RunRound(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestFullRoundFiveDevices(t *testing.T) {
 
 	// Localize and score.
 	_, bearing := LeaderOrientation(cfg.Devices[0].Pos, cfg.Devices[1].Pos, 0)
-	loc, err := nw.LocalizeRound(round, bearing, core.Config{})
+	loc, err := nw.LocalizeRound(context.Background(), round, bearing, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestRoundWithDroppedLink(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	round, err := nw.RunRound()
+	round, err := nw.RunRound(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestRoundWithDroppedLink(t *testing.T) {
 		t.Error("dropped link should be unresolved")
 	}
 	_, bearing := LeaderOrientation(cfg.Devices[0].Pos, cfg.Devices[1].Pos, 0)
-	loc, err := nw.LocalizeRound(round, bearing, core.Config{})
+	loc, err := nw.LocalizeRound(context.Background(), round, bearing, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

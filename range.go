@@ -1,0 +1,91 @@
+package uwpos
+
+import (
+	"context"
+	"fmt"
+
+	"uwpos/internal/sim"
+)
+
+// RangeConfig describes a single two-device ranging exchange: two devices
+// separated horizontally by SeparationM metres at the given depths in Env.
+// This is the §2.2 primitive on its own — the companion smartphone ranging
+// paper's scenario — without the group protocol around it.
+type RangeConfig struct {
+	Env *Environment
+	// SeparationM is the horizontal separation in metres.
+	SeparationM float64
+	// DepthAM and DepthBM are the two devices' depths in metres
+	// (default 2.5 each, the benchmark rig depth).
+	DepthAM, DepthBM float64
+	// Seed drives the exchange's randomness (default 1).
+	Seed int64
+}
+
+// RangeOutcome reports one two-way exchange.
+type RangeOutcome struct {
+	// EstimatedM is the measured distance.
+	EstimatedM float64
+	// TrueM is the ground-truth distance (3D, including the depth delta).
+	TrueM float64
+}
+
+// RangeBetween runs a single two-way acoustic ranging exchange. The
+// exchange degrades like real acoustics: when either direction of the
+// exchange is undetectable the returned error wraps ErrNotDetected and
+// the outcome still carries the true distance, so callers can distinguish
+// "bad acoustics" (degrade, retry, widen error bars) from caller mistakes
+// (ConfigError) and from a cancelled or expired ctx.
+func RangeBetween(ctx context.Context, cfg RangeConfig) (RangeOutcome, error) {
+	if cfg.Env == nil {
+		return RangeOutcome{}, ConfigError{Field: "Env", Reason: "nil environment"}
+	}
+	if cfg.SeparationM <= 0 {
+		return RangeOutcome{}, configErrf("SeparationM", "must be positive, got %g", cfg.SeparationM)
+	}
+	if cfg.DepthAM == 0 {
+		cfg.DepthAM = 2.5
+	}
+	if cfg.DepthBM == 0 {
+		cfg.DepthBM = 2.5
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	nw, err := sim.NewNetwork(sim.TwoDeviceConfig(cfg.Env, cfg.SeparationM, cfg.DepthAM, cfg.DepthBM, cfg.Seed))
+	if err != nil {
+		return RangeOutcome{}, err
+	}
+	res, err := nw.RangeOnce(ctx, sim.MethodDualMic)
+	if err != nil {
+		return RangeOutcome{}, err
+	}
+	out := RangeOutcome{EstimatedM: res.EstimatedM, TrueM: res.TrueM}
+	if !res.Detected {
+		out.EstimatedM = 0
+		return out, fmt.Errorf("%w (separation %.1f m in %s)", ErrNotDetected, cfg.SeparationM, cfg.Env.Name)
+	}
+	return out, nil
+}
+
+// RangeBetweenPositional is the pre-context positional form of
+// RangeBetween, kept as a thin compatibility wrapper for one release.
+//
+// Deprecated: use RangeBetween(ctx, RangeConfig{...}), which adds
+// deadline/cancellation support and typed errors. The zero-value defaults
+// differ: this wrapper passes depths and seed through verbatim, exactly as
+// the old entry point did.
+func RangeBetweenPositional(env *Environment, sepM, depthA, depthB float64, seed int64) (estimated, trueDist float64, err error) {
+	nw, err := sim.NewNetwork(sim.TwoDeviceConfig(env, sepM, depthA, depthB, seed))
+	if err != nil {
+		return 0, 0, err
+	}
+	res, rerr := nw.RangeOnce(context.Background(), sim.MethodDualMic)
+	if rerr != nil {
+		return 0, 0, rerr
+	}
+	if !res.Detected {
+		return 0, res.TrueM, ErrNotDetected
+	}
+	return res.EstimatedM, res.TrueM, nil
+}

@@ -1,6 +1,7 @@
 package uwpos
 
 import (
+	"fmt"
 	"math"
 
 	"uwpos/internal/geom"
@@ -26,6 +27,10 @@ type TrackerConfig struct {
 // position/velocity tracks without continuous acoustic transmission.
 type GroupTracker struct {
 	inner *track.GroupTracker
+	// lastT is the timestamp of the last consumed round; seeded marks
+	// whether any round has been consumed yet.
+	lastT  float64
+	seeded bool
 }
 
 // NewGroupTracker builds a tracker for a dive group.
@@ -39,12 +44,38 @@ func NewGroupTracker(cfg TrackerConfig) *GroupTracker {
 
 // AddRound feeds one Locate() outcome taken at time t (seconds since the
 // dive started; rounds must arrive in time order).
+//
+// The round is validated before any filter state changes: a timestamp
+// behind the previous round returns an error wrapping ErrRoundOutOfOrder,
+// and device indices that are out of range, duplicated or missing (the
+// result must cover devices 0..N−1 exactly) return one wrapping
+// ErrDeviceIndexGap. On error no fix is consumed, so the tracker never
+// half-applies a bad round.
 func (g *GroupTracker) AddRound(t float64, result *Result) error {
-	positions := make([]geom.Vec3, len(result.Positions))
+	if result == nil || len(result.Positions) == 0 {
+		return ConfigError{Field: "Result", Reason: "no positions in round"}
+	}
+	if g.seeded && t < g.lastT {
+		return fmt.Errorf("%w: round at t=%g s after one at t=%g s", ErrRoundOutOfOrder, t, g.lastT)
+	}
+	n := len(result.Positions)
+	positions := make([]geom.Vec3, n)
+	seen := make([]bool, n)
 	for _, p := range result.Positions {
+		if p.Device < 0 || p.Device >= n {
+			return fmt.Errorf("%w: device %d outside 0..%d", ErrDeviceIndexGap, p.Device, n-1)
+		}
+		if seen[p.Device] {
+			return fmt.Errorf("%w: device %d appears twice", ErrDeviceIndexGap, p.Device)
+		}
+		seen[p.Device] = true
 		positions[p.Device] = p.Pos
 	}
-	return g.inner.Fix(t, positions)
+	if err := g.inner.Fix(t, positions); err != nil {
+		return err
+	}
+	g.lastT, g.seeded = t, true
+	return nil
 }
 
 // PositionsAt extrapolates every diver's track to time t.

@@ -23,6 +23,7 @@
 package uwpos
 
 import (
+	"context"
 	"fmt"
 
 	"uwpos/internal/channel"
@@ -101,8 +102,12 @@ type Result struct {
 // Localize runs projection → topology estimation with outlier detection →
 // ambiguity resolution on caller-provided measurements (§2.1 of the
 // paper). Device 0 must be the leader, device 1 the pointed diver.
-func Localize(in Input) (*Result, error) {
-	cr, err := core.Localize(core.Input{
+//
+// ctx bounds the solve: the outlier search (Algorithm 1) re-solves the
+// topology once per candidate drop subset and honours cancellation between
+// solves, so a server can put a deadline on even adversarial inputs.
+func Localize(ctx context.Context, in Input) (*Result, error) {
+	cr, err := core.Localize(ctx, core.Input{
 		D:               in.Distances,
 		W:               in.Weights,
 		Depths:          in.Depths,
@@ -163,10 +168,10 @@ type System struct {
 // NewSystem validates the configuration and builds the network.
 func NewSystem(cfg SystemConfig) (*System, error) {
 	if cfg.Env == nil {
-		return nil, fmt.Errorf("uwpos: nil environment")
+		return nil, ConfigError{Field: "Env", Reason: "nil environment"}
 	}
 	if len(cfg.Divers) < 3 {
-		return nil, fmt.Errorf("uwpos: need at least 3 divers (got %d); with two, use RangeBetween", len(cfg.Divers))
+		return nil, fmt.Errorf("%w (got %d); with two, use RangeBetween", ErrTooFewDivers, len(cfg.Divers))
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
@@ -216,12 +221,20 @@ type RoundOutcome struct {
 
 // Locate runs one complete round: protocol, acoustics, reports and
 // localization.
-func (s *System) Locate() (*RoundOutcome, error) {
-	round, err := s.network.RunRound()
+//
+// ctx carries the round's deadline and cancellation down into the
+// simulated protocol execution: the round checks it at stage boundaries
+// (calibration, per-device receiver processing, report decoding, topology
+// solves), so a cancelled or expired context aborts within one device's
+// processing step and Locate returns the context's error. Concurrent
+// Locate calls on one System are not safe — the underlying network owns
+// mutable per-round state; serialize per System (the service layer does).
+func (s *System) Locate(ctx context.Context) (*RoundOutcome, error) {
+	round, err := s.network.RunRound(ctx)
 	if err != nil {
 		return nil, err
 	}
-	loc, err := s.network.LocalizeRound(round, s.bearing, core.DefaultConfig())
+	loc, err := s.network.LocalizeRound(ctx, round, s.bearing, core.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -240,22 +253,4 @@ func (s *System) Locate() (*RoundOutcome, error) {
 		Err2D:      loc.Err2D,
 		Err3D:      loc.Err3D,
 	}, nil
-}
-
-// RangeBetween runs a single two-way acoustic ranging exchange between two
-// devices separated by sepM metres at the given depths in env, returning
-// the estimated and true distance.
-func RangeBetween(env *Environment, sepM, depthA, depthB float64, seed int64) (estimated, trueDist float64, err error) {
-	nw, err := sim.NewNetwork(sim.TwoDeviceConfig(env, sepM, depthA, depthB, seed))
-	if err != nil {
-		return 0, 0, err
-	}
-	res, rerr := nw.RangeOnce(sim.MethodDualMic)
-	if rerr != nil {
-		return 0, 0, rerr
-	}
-	if !res.Detected {
-		return 0, res.TrueM, fmt.Errorf("uwpos: exchange not detected")
-	}
-	return res.EstimatedM, res.TrueM, nil
 }

@@ -1,6 +1,7 @@
 package uwpos
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -33,7 +34,7 @@ func TestLocalizePureAlgorithm(t *testing.T) {
 	}
 	in.MicSigns[2] = 1  // right of the +x pointing line (y < 0)
 	in.MicSigns[3] = -1 // left
-	res, err := Localize(in)
+	res, err := Localize(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestLocalizePureAlgorithm(t *testing.T) {
 }
 
 func TestLocalizeErrors(t *testing.T) {
-	if _, err := Localize(Input{}); err == nil {
+	if _, err := Localize(context.Background(), Input{}); err == nil {
 		t.Error("empty input should error")
 	}
 }
@@ -77,15 +78,31 @@ func TestEnvironmentByName(t *testing.T) {
 }
 
 func TestRangeBetween(t *testing.T) {
-	est, tru, err := RangeBetween(Dock(), 15, 2.5, 2.5, 9)
+	out, err := RangeBetween(context.Background(), RangeConfig{Env: Dock(), SeparationM: 15, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(tru-15) > 1e-9 {
-		t.Errorf("true distance %g", tru)
+	if math.Abs(out.TrueM-15) > 1e-9 {
+		t.Errorf("true distance %g", out.TrueM)
 	}
-	if math.Abs(est-tru) > 1.2 {
-		t.Errorf("ranging error %.2f m", math.Abs(est-tru))
+	if math.Abs(out.EstimatedM-out.TrueM) > 1.2 {
+		t.Errorf("ranging error %.2f m", math.Abs(out.EstimatedM-out.TrueM))
+	}
+}
+
+func TestRangeBetweenPositionalCompat(t *testing.T) {
+	// The deprecated wrapper and the context API must agree exactly: same
+	// scenario build, same RNG consumption, same estimate.
+	est, tru, err := RangeBetweenPositional(Dock(), 15, 2.5, 2.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RangeBetween(context.Background(), RangeConfig{Env: Dock(), SeparationM: 15, DepthAM: 2.5, DepthBM: 2.5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != out.EstimatedM || tru != out.TrueM {
+		t.Errorf("wrapper (%g, %g) != context API (%g, %g)", est, tru, out.EstimatedM, out.TrueM)
 	}
 }
 
@@ -107,7 +124,7 @@ func TestSystemLocateEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := sys.Locate()
+	out, err := sys.Locate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
