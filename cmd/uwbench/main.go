@@ -69,6 +69,7 @@ func registry() map[string]runner {
 		},
 		"battery":   func(o experiments.Options) *stats.Table { return experiments.Battery(o) },
 		"streaming": func(o experiments.Options) *stats.Table { return experiments.Streaming(o) },
+		"ingest":    func(o experiments.Options) *stats.Table { return experiments.Ingest(o) },
 		// "service" is a load test of the uwposd serving stack: its table
 		// reports wall-clock latencies, so it stays out of the
 		// deterministic "all" ordering and the baseline timing gate.
@@ -100,7 +101,7 @@ var order = []string{
 	"fig13a", "fig13b", "fig14a", "fig14b",
 	"fig15", "fig16", "fig22",
 	"fig18", "fig19a", "fig19b", "fig19b-4dev", "fig20",
-	"rtt", "flipping", "battery", "streaming",
+	"rtt", "flipping", "battery", "streaming", "ingest",
 	"ablation-bandwindow", "ablation-prefilter", "ablation-restarts", "ablation-reportback",
 	"headline",
 }

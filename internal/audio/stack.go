@@ -166,15 +166,30 @@ func (s *Stack) Mic(i int) []float64 { return s.mics[i] }
 // slices alias the live stream; treat them as read-only. A released
 // stack or non-positive chunk yields nothing.
 func (s *Stack) MicChunks(i, chunk int) iter.Seq[[]float64] {
+	return s.MicChunksRange(i, 0, s.StreamLen(), chunk)
+}
+
+// MicChunksRange is MicChunks restricted to the half-open sample window
+// [from, to) — the shape in which the receiver replays a bounded stretch
+// of the stream into an ingest pipeline (the calibration window, or the
+// post-transmission tail a baseline scans). Bounds are clipped to the
+// stream; an empty or inverted window yields nothing.
+func (s *Stack) MicChunksRange(i, from, to, chunk int) iter.Seq[[]float64] {
 	return func(yield func([]float64) bool) {
 		if chunk <= 0 {
 			return
 		}
 		stream := s.Mic(i)
-		for off := 0; off < len(stream); off += chunk {
+		if to > len(stream) {
+			to = len(stream)
+		}
+		if from < 0 {
+			from = 0
+		}
+		for off := from; off < to; off += chunk {
 			end := off + chunk
-			if end > len(stream) {
-				end = len(stream)
+			if end > to {
+				end = to
 			}
 			if !yield(stream[off:end]) {
 				return

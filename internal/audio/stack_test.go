@@ -307,3 +307,59 @@ func TestMicChunksCoversStream(t *testing.T) {
 		t.Fatal("released stack must yield nothing")
 	}
 }
+
+func TestMicChunksRangeWindow(t *testing.T) {
+	s, _ := NewStack(defaultCfg())
+	defer s.Release()
+	mic := s.Mic(0)
+	for i := range mic {
+		mic[i] = float64(i)
+	}
+	reassemble := func(from, to, chunk int) []float64 {
+		var got []float64
+		for c := range s.MicChunksRange(0, from, to, chunk) {
+			if len(c) > chunk {
+				t.Fatalf("[%d,%d) chunk %d: yielded %d samples", from, to, chunk, len(c))
+			}
+			got = append(got, c...)
+		}
+		return got
+	}
+	cases := []struct{ from, to int }{
+		{0, len(mic)},             // full stream: must equal MicChunks
+		{1000, 5000},              // interior window
+		{-50, 300},                // clipped start
+		{len(mic) - 100, 1 << 30}, // clipped end
+	}
+	for _, tc := range cases {
+		for _, chunk := range []int{1, 511, 4096, 1 << 30} {
+			got := reassemble(tc.from, tc.to, chunk)
+			from, to := tc.from, tc.to
+			if from < 0 {
+				from = 0
+			}
+			if to > len(mic) {
+				to = len(mic)
+			}
+			if len(got) != to-from {
+				t.Fatalf("[%d,%d) chunk %d: %d samples, want %d", tc.from, tc.to, chunk, len(got), to-from)
+			}
+			for i, v := range got {
+				if v != mic[from+i] {
+					t.Fatalf("[%d,%d) chunk %d: sample %d = %g, want %g", tc.from, tc.to, chunk, i, v, mic[from+i])
+				}
+			}
+		}
+	}
+	// Degenerate windows and chunk sizes yield nothing.
+	if got := reassemble(5000, 1000, 64); got != nil {
+		t.Fatal("inverted window must yield nothing")
+	}
+	if got := reassemble(100, 200, 0); got != nil {
+		t.Fatal("chunk 0 must yield nothing")
+	}
+	// Early break stops cleanly.
+	for range s.MicChunksRange(0, 0, 10000, 128) {
+		break
+	}
+}

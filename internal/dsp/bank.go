@@ -1,5 +1,7 @@
 package dsp
 
+import "sync/atomic"
+
 // MatcherBank groups several Matchers so one stream can be scanned for
 // every template at far less than per-template cost. All templates share
 // one overlap-save block grid sized for the longest template; each block
@@ -29,6 +31,30 @@ type MatcherBank struct {
 func NewMatcherBank(ms ...*Matcher) *MatcherBank {
 	return newMatcherBank(osBlockFactor, ms)
 }
+
+// NewMatcherBankLowLatency builds a bank with the latency-oriented block
+// size the streaming sessions use (streamBlockFactor × the longest
+// template): lags emerge after roughly one template length of input
+// instead of seven, at ~1.5× the per-sample transform cost. This is the
+// bank shape for live ingest pipelines, where emission latency bounds
+// the end-to-end detection delay.
+func NewMatcherBankLowLatency(ms ...*Matcher) *MatcherBank {
+	return newMatcherBank(streamBlockFactor, ms)
+}
+
+// bankForwardCount counts shared forward block transforms across every
+// MatcherBank scan and BankStream session in the process — the
+// observable for "exactly one forward transform per block feeds every
+// consumer" assertions (see BankForwardTransforms).
+var bankForwardCount atomic.Uint64
+
+// BankForwardTransforms returns the process-wide number of shared
+// forward block transforms executed by MatcherBank one-shot scans and
+// BankStream sessions since process start. Deltas around a scan measure
+// how many forward FFTs the scan actually paid for; a shared-scan
+// pipeline over N templates and C consumers advances it exactly once per
+// block, independent of N and C.
+func BankForwardTransforms() uint64 { return bankForwardCount.Load() }
 
 func newMatcherBank(blockFactor int, ms []*Matcher) *MatcherBank {
 	if len(ms) == 0 {
@@ -122,6 +148,7 @@ func (b *MatcherBank) correlateAll(x []float64, normalized, pooled bool) [][]flo
 		// shared spectrum stays in the kernel's permuted packed order the
 		// whole time — the fold reads it without disturbing it.
 		rfftPacked(fxre, fxim, x[p:end])
+		bankForwardCount.Add(1)
 		for i, out := range outs {
 			if out == nil || p >= len(out) {
 				continue
@@ -319,6 +346,7 @@ func (s *BankStream) runBlock(take func(i int) int) {
 	}
 	hm := s.bank.block / 2
 	rfftPacked(s.fxre, s.fxim, s.buf[:n])
+	bankForwardCount.Add(1)
 	for i, mt := range s.bank.ms {
 		t := take(i)
 		if t <= 0 {

@@ -109,6 +109,7 @@ const (
 	saltAblReportBack = 23000
 	saltFig13b        = 24000
 	saltFig16         = 25000
+	saltIngest        = 26000
 )
 
 // analyticalScenario draws one §2.1.5 Monte-Carlo sample: N devices in a

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"uwpos/internal/dsp"
+	"uwpos/internal/ingest"
 	"uwpos/internal/ranging"
 	"uwpos/internal/sig"
 	"uwpos/internal/stats"
@@ -16,11 +17,15 @@ import (
 // preambles, a baseline chirp and a calibration chirp in ambient noise.
 // It reports throughput for (a) one-shot vs chunked preamble detection —
 // which must find identical detections, the equivalence the streaming
-// test harness proves — and (b) scanning the stream for all three
-// templates separately vs through one dsp.MatcherBank, whose shared
-// forward transform is the batched-matching win. Timing cells vary run
-// to run; the detection counts and the match verdict are deterministic
-// in the seed.
+// test harness proves — (b) scanning the stream for all three templates
+// separately vs through one dsp.MatcherBank, whose shared forward
+// transform is the batched-matching win, and (c) a receiver-shaped
+// comparison of the round's four consumers (detection, calibration
+// argmax, BeepBeep, CAT) as independent legacy scans vs riding one shared
+// ingest.Pipeline — with the forward-transform counts that show the
+// shared scan doing the work of three at the cost of one. Timing cells
+// vary run to run; the detection counts, transform counts and the match
+// verdicts are deterministic in the seed.
 func Streaming(opt Options) *stats.Table {
 	rng := opt.rng()
 	p := sig.DefaultParams()
@@ -108,6 +113,82 @@ func Streaming(opt Options) *stats.Table {
 		s.Flush()
 	})
 
+	// Receiver-shaped comparison: the round's four consumers — preamble
+	// detection, calibration argmax, BeepBeep and CAT arrival — once as
+	// independent scans of the stream (the legacy shape: each pays its own
+	// forward transforms) and once riding one shared ingest pipeline.
+	// Detection runs unfiltered on both sides so every consumer sees the
+	// same raw stream. dsp's transform counter measures the structural win;
+	// the arrival/argmax agreement between the two shapes is the shared
+	// scan's correctness check.
+	detNP := ranging.NewDetector(p, ranging.DetectorConfig{DisablePrefilter: true})
+	bb := ranging.NewBeepBeep(chirp)
+	cat := ranging.NewCAT(chirp, fs, p.BandHighHz-p.BandLowHz)
+	calBank := dsp.NewMatcherBank(dsp.NewMatcher(cal))
+	feed := func(pipe *ingest.Pipeline) {
+		for off := 0; off < total; off += chunk {
+			end := off + chunk
+			if end > total {
+				end = total
+			}
+			pipe.Push(stream[off:end])
+		}
+		pipe.Close()
+	}
+	type receiverOut struct {
+		dets       int
+		calIdx     int
+		bbIdx      float64
+		catIdx     float64
+		transforms uint64
+	}
+	legacyRun := func() receiverOut {
+		var out receiverOut
+		t0 := dsp.BankForwardTransforms()
+		sd := detNP.Stream()
+		for off := 0; off < total; off += chunk {
+			end := off + chunk
+			if end > total {
+				end = total
+			}
+			sd.Feed(stream[off:end])
+		}
+		out.dets = len(sd.Flush())
+		calPipe := ingest.New(ingest.Config{Bank: calBank, Normalized: true})
+		am := ingest.NewArgMax(0)
+		calPipe.Register(am)
+		feed(calPipe)
+		out.calIdx, _ = am.Best()
+		out.bbIdx, _ = bb.Arrival(stream)
+		out.catIdx, _ = cat.Arrival(stream)
+		out.transforms = dsp.BankForwardTransforms() - t0
+		return out
+	}
+	sharedRun := func() receiverOut {
+		var out receiverOut
+		t0 := dsp.BankForwardTransforms()
+		pipe := ingest.New(ingest.Config{Bank: bank, Normalized: true})
+		sd := detNP.Consumer(0)
+		col := ingest.NewCollect(1, total)
+		am := ingest.NewArgMax(2)
+		pipe.Register(sd)
+		pipe.Register(col)
+		pipe.Register(am)
+		feed(pipe)
+		out.dets = len(sd.Detections())
+		out.calIdx, _ = am.Best()
+		out.bbIdx, _ = bb.ArrivalFromCorr(col.Corr())
+		out.catIdx, _ = cat.ArrivalFromCorr(col.Corr(), stream)
+		col.Release()
+		out.transforms = dsp.BankForwardTransforms() - t0
+		return out
+	}
+	var legacy, shared receiverOut
+	tLegacy := best(func() { legacy = legacyRun() })
+	tShared := best(func() { shared = sharedRun() })
+	rxMatch := legacy.dets == shared.dets && legacy.calIdx == shared.calIdx &&
+		int(legacy.bbIdx) == int(shared.bbIdx) && int(legacy.catIdx) == int(shared.catIdx)
+
 	msps := func(t float64) string { return stats.F(float64(total) / t / 1e6) }
 	verdict := "match"
 	if !match {
@@ -117,8 +198,13 @@ func Streaming(opt Options) *stats.Table {
 		ID:     "streaming",
 		Title:  "streaming chunked detection: one-shot vs chunked vs 3-template bank",
 		Header: []string{"path", "templates", "Msamp/s", "speedup", "result"},
-		Notes: "speedup: chunked rows vs their one-shot row, bank rows vs 3 separate scans; " +
-			"detection equivalence (result column) is exact by construction",
+		Notes: "speedup: chunked rows vs their one-shot row, bank rows vs 3 separate scans, " +
+			"shared-ingest row vs the legacy independent scans; detection equivalence (result " +
+			"column) is exact by construction; xf = forward FFTs (block grids differ by path)",
+	}
+	rxVerdict := fmt.Sprintf("%d xf, match", shared.transforms)
+	if !rxMatch {
+		rxVerdict = fmt.Sprintf("%d xf, MISMATCH", shared.transforms)
 	}
 	table.Rows = append(table.Rows,
 		[]string{"detect one-shot", "1", msps(tOneShot), "1.00", fmt.Sprintf("%d det", len(reference))},
@@ -126,6 +212,8 @@ func Streaming(opt Options) *stats.Table {
 		[]string{"3 matchers separate", "3", msps(tSeparate), "1.00", "3 scans"},
 		[]string{"bank one-shot", "3", msps(tBank), stats.F(tSeparate / tBank), "3 scans"},
 		[]string{"bank chunked 4096", "3", msps(tBankStream), stats.F(tSeparate / tBankStream), "3 scans"},
+		[]string{"receiver legacy scans", "3", msps(tLegacy), "1.00", fmt.Sprintf("%d xf", legacy.transforms)},
+		[]string{"receiver shared ingest", "3", msps(tShared), stats.F(tLegacy / tShared), rxVerdict},
 	)
 	return table
 }

@@ -1,0 +1,113 @@
+package ingest
+
+import (
+	"math"
+
+	"uwpos/internal/dsp"
+)
+
+// Consumer receives one template's correlation lags as the shared scan
+// computes them. Lag slices alias pipeline-owned buffers valid only for
+// the duration of the call: reduce immediately or copy. Lags is invoked
+// in stream order per template (lag index = total lags delivered so far
+// for that template); Finish runs exactly once, after the final lags of
+// every template have been delivered.
+type Consumer interface {
+	Lags(template int, lags []float64)
+	Finish()
+}
+
+// ChunkConsumer is a Consumer that additionally observes the (filtered)
+// sample stream itself: Chunk delivers each buffer after the prefilter,
+// before any lags computed from it. Detection validation needs the
+// band-limited samples around each candidate, not just correlation
+// values, so the stream detector implements this.
+type ChunkConsumer interface {
+	Consumer
+	Chunk(samples []float64)
+}
+
+// ArgMax tracks the strongest correlation lag of one template: the
+// calibration consumer. The first maximum wins ties, matching a forward
+// argmax scan over the one-shot correlation array. The zero value tracks
+// template 0 but reports no observations; use NewArgMax.
+type ArgMax struct {
+	tmpl    int
+	best    float64
+	bestIdx int
+	count   int
+}
+
+// NewArgMax returns an argmax consumer over the given template index.
+func NewArgMax(template int) *ArgMax {
+	return &ArgMax{tmpl: template, best: -math.MaxFloat64, bestIdx: -1}
+}
+
+// Lags implements Consumer.
+func (a *ArgMax) Lags(template int, lags []float64) {
+	if template != a.tmpl {
+		return
+	}
+	for _, v := range lags {
+		if v > a.best {
+			a.best, a.bestIdx = v, a.count
+		}
+		a.count++
+	}
+}
+
+// Finish implements Consumer.
+func (a *ArgMax) Finish() {}
+
+// Best returns the strongest lag's index and value. The index is -1 when
+// no lag was observed (or every one was NaN).
+func (a *ArgMax) Best() (idx int, val float64) { return a.bestIdx, a.best }
+
+// Count returns the number of lags observed.
+func (a *ArgMax) Count() int { return a.count }
+
+// Collect accumulates one template's full correlation plane — the bridge
+// to one-shot entry points like ArrivalFromCorr that need the whole
+// array. The plane is drawn from the dsp scratch pool when a capacity is
+// reserved up front; Release hands it back.
+type Collect struct {
+	tmpl   int
+	corr   []float64
+	pooled bool
+}
+
+// NewCollect returns a collector for the given template index. capacity,
+// when positive, preallocates the plane from the dsp scratch pool (pass
+// the exact lag count — stream length − template length + 1 — for an
+// allocation-free steady state).
+func NewCollect(template, capacity int) *Collect {
+	c := &Collect{tmpl: template}
+	if capacity > 0 {
+		c.corr = dsp.GetF64(capacity)[:0]
+		c.pooled = true
+	}
+	return c
+}
+
+// Lags implements Consumer.
+func (c *Collect) Lags(template int, lags []float64) {
+	if template != c.tmpl {
+		return
+	}
+	c.corr = append(c.corr, lags...)
+}
+
+// Finish implements Consumer.
+func (c *Collect) Finish() {}
+
+// Corr returns the collected correlation plane (valid until Release).
+func (c *Collect) Corr() []float64 { return c.corr }
+
+// Release returns a pooled plane to the dsp scratch pool. The collector
+// must not be used afterwards. Safe to call more than once.
+func (c *Collect) Release() {
+	if c.pooled && c.corr != nil {
+		dsp.PutF64(c.corr)
+	}
+	c.corr = nil
+}

@@ -1,0 +1,90 @@
+package ingest
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic stand-in for the monotonic clock: each
+// read advances by the next programmed step.
+type fakeClock struct {
+	t     time.Time
+	steps []time.Duration
+	i     int
+}
+
+func (c *fakeClock) now() time.Time {
+	if c.i < len(c.steps) {
+		c.t = c.t.Add(c.steps[c.i])
+		c.i++
+	}
+	return c.t
+}
+
+// TestMeterAccounting: RTFs, percentiles, totals and misses computed from
+// a scripted clock.
+func TestMeterAccounting(t *testing.T) {
+	const fs = 1000.0 // 1000-sample buffer = 1 s of audio
+	m := NewMeter(1.0)
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	m.now = clock.now
+
+	// Three buffers: 0.5 s, 0.8 s and 1.5 s of processing for 1 s of audio
+	// each — RTFs 0.5, 0.8, 1.5; one deadline miss.
+	for _, proc := range []time.Duration{500, 800, 1500} {
+		clock.steps = []time.Duration{0, proc * time.Millisecond}
+		clock.i = 0
+		t0 := m.now()
+		m.observe(1000, 1000/fs, t0)
+	}
+	r := m.Report()
+	if r.Buffers != 3 || r.Samples != 3000 {
+		t.Fatalf("buffers %d samples %d, want 3 3000", r.Buffers, r.Samples)
+	}
+	if r.AudioSeconds != 3.0 {
+		t.Fatalf("audio seconds %g, want 3", r.AudioSeconds)
+	}
+	if math.Abs(r.ProcSeconds-2.8) > 1e-12 {
+		t.Fatalf("proc seconds %g, want 2.8", r.ProcSeconds)
+	}
+	if r.BudgetRTF != 1.0 || r.Misses != 1 {
+		t.Fatalf("budget %g misses %d, want 1.0 1", r.BudgetRTF, r.Misses)
+	}
+	if math.Abs(r.MaxRTF-1.5) > 1e-12 || math.Abs(r.P50RTF-0.8) > 1e-12 {
+		t.Fatalf("max %g p50 %g, want 1.5 0.8", r.MaxRTF, r.P50RTF)
+	}
+	if r.P99RTF < r.P90RTF || r.P90RTF < r.P50RTF {
+		t.Fatalf("percentiles not monotone: %g %g %g", r.P50RTF, r.P90RTF, r.P99RTF)
+	}
+}
+
+// TestMeterDefaults: non-positive budget becomes 1.0; empty meters report
+// NaN percentiles and zero totals; empty buffers are not counted.
+func TestMeterDefaults(t *testing.T) {
+	m := NewMeter(0)
+	if m.budgetRTF != 1.0 {
+		t.Fatalf("default budget %g, want 1.0", m.budgetRTF)
+	}
+	r := m.Report()
+	if r.Buffers != 0 || !math.IsNaN(r.P50RTF) || !math.IsNaN(r.P99RTF) {
+		t.Fatalf("empty report: %+v", r)
+	}
+	m.observe(0, 0, m.now())
+	if m.Report().Buffers != 0 {
+		t.Fatal("empty buffer was counted")
+	}
+}
+
+// TestMeterSteadyStateAllocs: observe never allocates (the sketch storage
+// is reserved at construction).
+func TestMeterSteadyStateAllocs(t *testing.T) {
+	m := NewMeter(1.0)
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	m.now = clock.now
+	if allocs := testing.AllocsPerRun(1000, func() {
+		m.observe(4096, 4096.0/44100, m.now())
+	}); allocs != 0 {
+		t.Fatalf("observe allocates %.1f times, want 0", allocs)
+	}
+}

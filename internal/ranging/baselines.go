@@ -67,6 +67,12 @@ func (b *BeepBeep) Arrival(stream []float64) (idx float64, ok bool) {
 	return b.ArrivalFromCorr(corr)
 }
 
+// Bank returns the single-template matcher bank for the current Template
+// (nil when the template is empty) — the scan target for callers driving
+// the baseline through a shared ingest pipeline, whose per-lag output
+// feeds ArrivalFromCorr.
+func (b *BeepBeep) Bank() *dsp.MatcherBank { return b.matcher.get(b.Template) }
+
 // ArrivalFromCorr applies BeepBeep's peak-selection rule to an already
 // computed normalized correlation of the template against the stream —
 // the entry point for callers that scanned several templates in one
@@ -152,6 +158,12 @@ func (c *CAT) Arrival(stream []float64) (idx float64, ok bool) {
 	defer dsp.PutF64(corr)
 	return c.ArrivalFromCorr(corr, stream)
 }
+
+// Bank returns the single-template matcher bank for the current Sweep
+// (nil when the sweep is empty) — the scan target for callers driving the
+// baseline through a shared ingest pipeline, whose per-lag output feeds
+// ArrivalFromCorr.
+func (c *CAT) Bank() *dsp.MatcherBank { return c.matcher.get(c.Sweep) }
 
 // ArrivalFromCorr runs CAT's mix-and-beat refinement from an already
 // computed normalized correlation of the sweep against the stream — the

@@ -9,6 +9,7 @@ package ranging
 
 import (
 	"uwpos/internal/dsp"
+	"uwpos/internal/ingest"
 	"uwpos/internal/sig"
 )
 
@@ -105,7 +106,26 @@ func (d *Detector) Detect(stream []float64) []Detection {
 // Stream opens a chunked detection session sharing this detector's
 // configuration and precomputed matcher. See StreamDetector.
 func (d *Detector) Stream() *StreamDetector {
-	return newStreamDetector(d.params, d.cfg, d.matcher)
+	return d.StreamWith(nil)
+}
+
+// StreamWith opens a chunked detection session whose ingest pipeline
+// reports per-buffer deadline headroom into meter (which may be shared
+// across sessions and rounds). A nil meter disables the accounting —
+// identical to Stream.
+func (d *Detector) StreamWith(meter *ingest.Meter) *StreamDetector {
+	return newStreamDetector(d.params, d.cfg, d.matcher, meter)
+}
+
+// Consumer opens a detection session in consumer mode, to be registered
+// on an externally built ingest.Pipeline whose bank holds this detector's
+// preamble template at index template. The caller's pipeline must scan
+// normalized correlations and apply the detector's band-pass prefilter
+// itself (or build the detector with DisablePrefilter); the session reads
+// correlation lags and filtered samples from the pipeline instead of
+// owning one.
+func (d *Detector) Consumer(template int) *StreamDetector {
+	return newStreamConsumer(d.params, d.cfg, template)
 }
 
 // ValidateCandidate computes the PN auto-correlation score for a candidate

@@ -5,50 +5,49 @@ import (
 	"sort"
 
 	"uwpos/internal/dsp"
+	"uwpos/internal/ingest"
 	"uwpos/internal/sig"
 )
 
 // StreamDetector runs preamble detection on audio as the OS delivers it,
-// buffer by buffer, instead of on a complete per-round stream. It carries
-// the band-pass prefilter state, the overlap-save correlation overlap, the
-// peak-scan lookahead and the candidate set across chunk boundaries, so a
-// preamble is found no matter how the stream is cut — including a chunk
-// boundary landing in the middle of the preamble or right on the
-// correlation peak.
+// buffer by buffer, instead of on a complete per-round stream. It is an
+// ingest.Consumer: the band-pass prefilter and the overlap-save
+// correlation run in an ingest.Pipeline (one shared forward transform per
+// block, fanned out to every consumer on the stream), while the detector
+// carries the peak-scan lookahead, the PN-validation window and the
+// candidate set across buffer boundaries — so a preamble is found no
+// matter how the stream is cut, including a buffer boundary landing in
+// the middle of the preamble or right on the correlation peak.
 //
 // The session is built so that the final detection set is exactly what
 // the one-shot Detector computes on the concatenated stream:
 //
-//   - the prefilter replicates sig.BandLimit's direct FIR arithmetic with
-//     carried history (bit-identical for every chunk partition);
-//   - correlation runs on a dsp.StreamMatcher whose overlap-save blocks
-//     sit on a fixed absolute grid (bit-identical for every partition);
+//   - the pipeline's prefilter replicates sig.BandLimit's direct FIR
+//     arithmetic with carried history (bit-identical for every chunk
+//     partition);
+//   - correlation runs on a dsp.BankStream whose overlap-save blocks sit
+//     on a fixed absolute grid (bit-identical for every partition);
 //   - candidate peaks are decided with one lag of lookahead, so a peak on
 //     a chunk boundary is reported exactly once;
 //   - MinSeparation dedup is applied over the whole candidate set each
 //     time, so a provisional detection is replaced when a higher peak
 //     within MinSeparation arrives in a later chunk.
 //
-// Detections reports the current (provisional) set at any time; Flush
-// ends the stream and returns the final set. Indices are global sample
-// positions in the full stream. A session is single-stream and not safe
-// for concurrent use; sessions share the process-wide template matcher
-// read-only, so any number of sessions may run concurrently.
+// A session created by NewStreamDetector or Detector.Stream owns its
+// pipeline: Feed pushes buffers, Flush closes the stream and returns the
+// final set. A session created by Detector.Consumer is driven by an
+// external shared pipeline instead — register it, push buffers to that
+// pipeline, and read Detections after the pipeline closes. Detections
+// reports the current (provisional) set at any time. Indices are global
+// sample positions in the full stream. A session is single-stream and not
+// safe for concurrent use; sessions share the process-wide template
+// matcher read-only, so any number of sessions may run concurrently.
 type StreamDetector struct {
 	params sig.Params
 	cfg    DetectorConfig
-	sm     *dsp.StreamMatcher
-
-	// Streaming band-pass prefilter (nil fir when disabled): filtered[n] =
-	// y[n+delay] with y the causal FIR output and zeros past the end,
-	// replicating sig.BandLimit's group-delay compensation.
-	fir     []float64
-	delay   int
-	tail    []float64 // last len(fir)-1 raw samples
-	tailLen int
-	rawFed  int
-	fbuf    []float64 // filter scratch: tail ++ chunk
-	fout    []float64 // filtered-output scratch
+	tmpl   int              // bank template index this session consumes
+	pipe   *ingest.Pipeline // standalone mode only; nil when externally driven
+	fed    int              // filtered samples observed (external-mode Fed)
 
 	// Filtered samples retained for PN validation: win[0] holds global
 	// filtered index winStart. The window is trimmed to the earliest
@@ -90,72 +89,79 @@ type candidate struct {
 // preamble numerology. Equivalent to NewDetector(p, cfg).Stream().
 func NewStreamDetector(p sig.Params, cfg DetectorConfig) *StreamDetector {
 	cfg.defaults(p)
-	return newStreamDetector(p, cfg, sig.SharedMatcher("preamble", p, sig.SharedPreamble))
+	return newStreamDetector(p, cfg, sig.SharedMatcher("preamble", p, sig.SharedPreamble), nil)
 }
 
-func newStreamDetector(p sig.Params, cfg DetectorConfig, matcher *dsp.Matcher) *StreamDetector {
-	sd := &StreamDetector{
-		params: p,
-		cfg:    cfg,
-		sm:     matcher.StreamNormalized(),
+// newStreamDetector builds a standalone session: a consumer-mode detector
+// registered on its own single-template low-latency pipeline (with the
+// band-pass prefilter unless disabled, and the optional deadline meter).
+func newStreamDetector(p sig.Params, cfg DetectorConfig, matcher *dsp.Matcher, meter *ingest.Meter) *StreamDetector {
+	sd := newStreamConsumer(p, cfg, 0)
+	icfg := ingest.Config{
+		Bank:       dsp.NewMatcherBankLowLatency(matcher),
+		Normalized: true,
+		SampleRate: p.SampleRate,
+		Meter:      meter,
 	}
 	if !cfg.DisablePrefilter {
-		sd.fir = sig.BandLimitFIR(p.BandLowHz, p.BandHighHz, p.SampleRate)
-		sd.delay = (len(sd.fir) - 1) / 2
-		sd.tail = make([]float64, len(sd.fir)-1)
+		icfg.Prefilter = sig.BandLimitFIR(p.BandLowHz, p.BandHighHz, p.SampleRate)
 	}
+	sd.pipe = ingest.New(icfg)
+	sd.pipe.Register(sd)
 	return sd
 }
 
-// Fed returns the number of raw stream samples consumed so far.
-func (s *StreamDetector) Fed() int {
-	if s.fir != nil {
-		return s.rawFed
-	}
-	return s.sm.Fed()
+// newStreamConsumer builds a consumer-mode session over bank template
+// index template (no pipeline of its own).
+func newStreamConsumer(p sig.Params, cfg DetectorConfig, template int) *StreamDetector {
+	return &StreamDetector{params: p, cfg: cfg, tmpl: template}
 }
 
-// Feed consumes the next audio chunk (any length, including empty).
+// Fed returns the number of raw stream samples consumed so far. In
+// consumer mode (no owned pipeline) it reports the filtered samples
+// observed instead — equal to the raw count once the driving pipeline
+// has closed.
+func (s *StreamDetector) Fed() int {
+	if s.pipe != nil {
+		return s.pipe.Fed()
+	}
+	return s.fed
+}
+
+// Feed consumes the next audio chunk (any length, including empty) by
+// pushing it through the session's own pipeline. It panics on a
+// consumer-mode session — push to the driving pipeline instead.
 func (s *StreamDetector) Feed(chunk []float64) {
 	if s.flushed {
 		panic("ranging: StreamDetector.Feed after Flush")
 	}
-	filt := chunk
-	if s.fir != nil {
-		filt = s.filter(chunk)
+	if s.pipe == nil {
+		panic("ranging: Feed on a consumer-mode StreamDetector (push to its pipeline)")
 	}
-	s.win = append(s.win, filt...)
-	s.scan(s.sm.Feed(filt), false)
-	s.trimWin()
+	s.pipe.Push(chunk)
 }
 
 // Flush ends the stream and returns the final detection set — identical
 // to Detector.Detect on the concatenation of everything fed. The session
 // cannot be fed afterwards; Detections keeps returning the final set.
+// It panics on a consumer-mode session — close the driving pipeline
+// instead.
 func (s *StreamDetector) Flush() []Detection {
 	if s.flushed {
 		return s.final
 	}
-	if s.fir != nil {
-		// BandLimit zero-fills the last delay samples (the causal filter
-		// output past the raw stream end is discarded with the group-delay
-		// shift): emit them so lag counts match the one-shot path.
-		zeros := min(s.delay, s.rawFed)
-		pad := make([]float64, zeros)
-		s.win = append(s.win, pad...)
-		s.scan(s.sm.Feed(pad), false)
+	if s.pipe == nil {
+		panic("ranging: Flush on a consumer-mode StreamDetector (close its pipeline)")
 	}
-	s.scan(s.sm.Flush(), true)
-	s.flushed = true
-	s.final = s.selectCurrent()
-	s.win, s.fbuf, s.fout, s.tail, s.cands, s.topVals = nil, nil, nil, nil, nil, nil
+	s.pipe.Close()
 	return s.final
 }
 
 // Detections returns the detection set as of the audio consumed so far,
-// sorted by index. Entries are provisional until Flush: a stronger peak
-// within MinSeparation arriving in a later chunk replaces its weaker
-// neighbour, exactly as the one-shot strongest-first dedup would have.
+// sorted by index. Entries are provisional until the stream ends: a
+// stronger peak within MinSeparation arriving in a later chunk replaces
+// its weaker neighbour, exactly as the one-shot strongest-first dedup
+// would have.
 func (s *StreamDetector) Detections() []Detection {
 	if s.flushed {
 		return s.final
@@ -163,52 +169,33 @@ func (s *StreamDetector) Detections() []Detection {
 	return s.selectCurrent()
 }
 
-// filter runs the streaming band-pass: causal direct-form FIR with
-// carried history, arithmetic identical to dsp.Filter sample for sample,
-// followed by the group-delay drop of the first delay outputs. The
-// returned slice aliases session scratch, valid until the next call.
-func (s *StreamDetector) filter(chunk []float64) []float64 {
-	n := len(chunk)
-	if cap(s.fbuf) < s.tailLen+n {
-		s.fbuf = make([]float64, s.tailLen+n)
+// Chunk implements ingest.ChunkConsumer: the band-limited samples are
+// retained (until decided) for PN validation of candidate peaks.
+func (s *StreamDetector) Chunk(samples []float64) {
+	s.fed += len(samples)
+	s.win = append(s.win, samples...)
+}
+
+// Lags implements ingest.Consumer: newly computable correlation lags of
+// the session's template advance the peak scan.
+func (s *StreamDetector) Lags(template int, lags []float64) {
+	if template != s.tmpl {
+		return
 	}
-	s.fbuf = s.fbuf[:s.tailLen+n]
-	copy(s.fbuf, s.tail[:s.tailLen])
-	copy(s.fbuf[s.tailLen:], chunk)
-	if cap(s.fout) < n {
-		s.fout = make([]float64, n)
+	s.scan(lags, false)
+	s.trimWin()
+}
+
+// Finish implements ingest.Consumer: the last lag is decided against its
+// left neighbour only and the final detection set is selected.
+func (s *StreamDetector) Finish() {
+	if s.flushed {
+		return
 	}
-	s.fout = s.fout[:n]
-	for j := 0; j < n; j++ {
-		m := s.rawFed + j // global causal output index
-		kmax := len(s.fir)
-		if m+1 < kmax {
-			kmax = m + 1
-		}
-		base := s.tailLen + j
-		var sum float64
-		for k := 0; k < kmax; k++ {
-			sum += s.fir[k] * s.fbuf[base-k]
-		}
-		s.fout[j] = sum
-	}
-	s.rawFed += n
-	keep := len(s.fir) - 1
-	if keep > s.rawFed {
-		keep = s.rawFed
-	}
-	copy(s.tail, s.fbuf[len(s.fbuf)-keep:])
-	s.tailLen = keep
-	// Group-delay compensation: causal outputs before index delay fall off
-	// the front of the one-shot BandLimit result.
-	skip := s.delay - (s.rawFed - n)
-	if skip < 0 {
-		skip = 0
-	}
-	if skip > n {
-		skip = n
-	}
-	return s.fout[skip:]
+	s.scan(nil, true)
+	s.flushed = true
+	s.final = s.selectCurrent()
+	s.win, s.cands, s.topVals = nil, nil, nil
 }
 
 // scan advances the peak decision over newly emitted correlation lags.

@@ -22,6 +22,7 @@ import (
 	"uwpos/internal/device"
 	"uwpos/internal/dsp"
 	"uwpos/internal/geom"
+	"uwpos/internal/ingest"
 	"uwpos/internal/protocol"
 	"uwpos/internal/ranging"
 	"uwpos/internal/sig"
@@ -102,6 +103,19 @@ type Config struct {
 	DisableReportBack bool
 	// MaxReflections bounds the image-method order (default 3).
 	MaxReflections int
+	// IngestChunk is the audio-buffer size (samples) every receiver-side
+	// ingest pipeline of a round is fed with; 0 means the default OpenSL
+	// ES-like grain (4096, ~93 ms at 44.1 kHz). Round results are
+	// invariant to this value — ingest correlation runs on a fixed
+	// absolute block grid — so it only shapes buffer cadence and memory
+	// traffic.
+	IngestChunk int
+	// IngestMeter, when non-nil, aggregates per-buffer deadline headroom
+	// (real-time factors) across every ingest pipeline of the scenario's
+	// rounds. Metering reads the monotonic clock per buffer and the meter
+	// is not safe for concurrent use, so it is meant for single-worker
+	// profiling runs; leave nil otherwise.
+	IngestMeter *ingest.Meter
 }
 
 // Network is an instantiated scenario.

@@ -7,7 +7,9 @@ import (
 
 	"uwpos/internal/channel"
 	"uwpos/internal/device"
+	"uwpos/internal/dsp"
 	"uwpos/internal/geom"
+	"uwpos/internal/ingest"
 	"uwpos/internal/ranging"
 	"uwpos/internal/sig"
 )
@@ -173,20 +175,58 @@ func (nw *Network) estimateArrival(d *simDevice, method RangingMethod, wave []fl
 		return 0, false
 	case MethodBeepBeep:
 		bb := ranging.NewBeepBeep(wave)
-		idx, ok := bb.Arrival(mic0[searchFrom:])
+		corr, release := nw.scanTail(bb.Bank(), d, searchFrom)
+		if corr == nil {
+			return 0, false
+		}
+		defer release()
+		idx, ok := bb.ArrivalFromCorr(corr)
 		if !ok {
 			return 0, false
 		}
 		return float64(searchFrom) + idx, true
 	case MethodCAT:
 		cat := ranging.NewCAT(wave, nw.params.SampleRate, nw.params.BandHighHz-nw.params.BandLowHz)
-		idx, ok := cat.Arrival(mic0[searchFrom:])
+		corr, release := nw.scanTail(cat.Bank(), d, searchFrom)
+		if corr == nil {
+			return 0, false
+		}
+		defer release()
+		idx, ok := cat.ArrivalFromCorr(corr, mic0[searchFrom:])
 		if !ok {
 			return 0, false
 		}
 		return float64(searchFrom) + idx, true
 	}
 	return 0, false
+}
+
+// scanTail runs one ingest pipeline over the device's mic-0 stream from
+// searchFrom on — buffer by buffer, like every other receiver scan of the
+// round — and collects the bank's normalized correlation of template 0
+// for the baselines' peak rules. The returned slice is pool-backed; call
+// release when done. A nil bank or empty tail returns nil.
+func (nw *Network) scanTail(bank *dsp.MatcherBank, d *simDevice, searchFrom int) (corr []float64, release func()) {
+	if bank == nil {
+		return nil, nil
+	}
+	tail := d.stack.StreamLen() - searchFrom
+	if tail <= 0 {
+		return nil, nil
+	}
+	pipe := ingest.New(ingest.Config{
+		Bank:       bank,
+		Normalized: true,
+		SampleRate: nw.params.SampleRate,
+		Meter:      nw.cfg.IngestMeter,
+	})
+	col := ingest.NewCollect(0, tail)
+	pipe.Register(col)
+	for chunk := range d.stack.MicChunksRange(0, searchFrom, d.stack.StreamLen(), nw.ingestChunk()) {
+		pipe.Push(chunk)
+	}
+	pipe.Close()
+	return col.Corr(), col.Release
 }
 
 // TwoDeviceConfig builds the canonical two-phone benchmark scenario:

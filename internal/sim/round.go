@@ -11,6 +11,7 @@ import (
 	"uwpos/internal/comm"
 	"uwpos/internal/depth"
 	"uwpos/internal/dsp"
+	"uwpos/internal/ingest"
 	"uwpos/internal/protocol"
 	"uwpos/internal/ranging"
 	"uwpos/internal/sig"
@@ -150,10 +151,6 @@ func (nw *Network) reportAt() float64 {
 	return nw.proto.RoundTime(false) + reportMargin
 }
 
-// reportAtFor returns the report slot for a device. All devices report
-// simultaneously in disjoint FSK sub-bands (§2.4).
-func (nw *Network) reportAtFor(id int) float64 { return nw.reportAt() }
-
 func (nw *Network) setupDevices(dur float64) error {
 	nw.devices = nw.devices[:0]
 	for i, spec := range nw.cfg.Devices {
@@ -231,32 +228,26 @@ func (nw *Network) calibrateAll(ctx context.Context) error {
 			return err
 		}
 		end := int(calWindowEnd * fs)
-		stream := d.stack.Mic(0)
-		if end > len(stream) {
-			end = len(stream)
-		}
-		// The chirp scan runs as a streaming bank session with an online
-		// argmax: correlation lags are consumed as each audio buffer
+		// The chirp scan runs as an ingest pipeline with an online argmax
+		// consumer: correlation lags are consumed as each audio buffer
 		// arrives and scratch stays bounded at one FFT block, instead of
 		// materializing a window-sized correlation slab.
-		ses := bank.StreamNormalized()
-		best, bestIdx, pos := -math.MaxFloat64, -1, 0
-		scanMax := func(lags []float64) {
-			for _, v := range lags {
-				if v > best {
-					best, bestIdx = v, pos
-				}
-				pos++
-			}
+		pipe := ingest.New(ingest.Config{
+			Bank:       bank,
+			Normalized: true,
+			SampleRate: fs,
+			Meter:      nw.cfg.IngestMeter,
+		})
+		argmax := ingest.NewArgMax(0)
+		pipe.Register(argmax)
+		for chunk := range d.stack.MicChunksRange(0, 0, end, nw.ingestChunk()) {
+			pipe.Push(chunk)
 		}
-		for off := 0; off < end; off += detectChunk {
-			to := min(off+detectChunk, end)
-			scanMax(ses.Feed(stream[off:to])[0])
-		}
-		scanMax(ses.Flush()[0])
-		if pos == 0 {
+		pipe.Close()
+		if argmax.Count() == 0 {
 			return fmt.Errorf("sim: calibration window too short on device %d", d.id)
 		}
+		bestIdx, _ := argmax.Best()
 		if bestIdx < 0 {
 			return fmt.Errorf("sim: calibration not detected on device %d", d.id)
 		}
@@ -321,12 +312,22 @@ type detected struct {
 	syncFrom int
 }
 
-// detectChunk is the audio-buffer size the receiver pipeline consumes at
-// a time, matching typical OpenSL ES buffer grain (~93 ms at 44.1 kHz).
-// Detection results are invariant to this value — the streaming pipeline
-// is proven chunk-partition-exact by ranging's equivalence harness — so
-// it only shapes memory traffic.
+// detectChunk is the default audio-buffer size the receiver pipelines
+// consume at a time, matching typical OpenSL ES buffer grain (~93 ms at
+// 44.1 kHz). Round results are invariant to this value — every ingest
+// pipeline correlates on a fixed absolute block grid, proven
+// chunk-partition-exact by the equivalence harnesses — so it only shapes
+// memory traffic. Config.IngestChunk overrides it.
 const detectChunk = 4096
+
+// ingestChunk returns the audio-buffer size every ingest pipeline of the
+// round is fed with.
+func (nw *Network) ingestChunk() int {
+	if nw.cfg.IngestChunk > 0 {
+		return nw.cfg.IngestChunk
+	}
+	return detectChunk
+}
 
 // detectMessages runs detection + refinement + MFSK decoding (sender ID,
 // then sync-source ID) over the device's current streams. Detection runs
@@ -340,8 +341,8 @@ func (nw *Network) detectMessages(d *simDevice) []detected {
 	if d.stack.NumMics() > 1 {
 		mic1 = d.stack.Mic(1)
 	}
-	sd := d.ranger.Detector.Stream()
-	for chunk := range d.stack.MicChunks(0, detectChunk) {
+	sd := d.ranger.Detector.StreamWith(nw.cfg.IngestMeter)
+	for chunk := range d.stack.MicChunks(0, nw.ingestChunk()) {
 		sd.Feed(chunk)
 	}
 	toas, err := d.ranger.Refine(mic0, mic1, sd.Flush())
@@ -511,7 +512,9 @@ func (nw *Network) reportBack(res *RoundResult, table *protocol.Table) error {
 		if d.sync.From != 0 {
 			slot = nw.proto.SlotTime(d.sync.From)
 		}
-		offset := nw.reportAtFor(d.id) - slot
+		// All devices report simultaneously in disjoint FSK sub-bands
+		// (§2.4), so the report slot is common.
+		offset := nw.reportAt() - slot
 		txIdx := d.stack.ReplyIndex(int(math.Round(syncArr.toa.ArrivalIdx)), offset)
 		d.stack.WriteSpeaker(txIdx, wave)
 		nw.renderTransmission(d, txIdx, wave, d.stack.SpeakerIndexToTime(float64(txIdx)))
@@ -528,7 +531,7 @@ func (nw *Network) reportBack(res *RoundResult, table *protocol.Table) error {
 		if !ok {
 			continue // cannot align (nor would the link matter: no ranging)
 		}
-		start := msg.toa.ArrivalIdx + (nw.reportAtFor(d.id)-nw.proto.SlotTime(d.id))*fs
+		start := msg.toa.ArrivalIdx + (nw.reportAt()-nw.proto.SlotTime(d.id))*fs
 		rep, err := modem.ReceiveReport(mic, int(math.Round(start)), d.id)
 		if err != nil {
 			continue // corrupted report: row stays missing

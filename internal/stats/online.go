@@ -113,6 +113,24 @@ func NewSketchSize(capacity int) *Sketch {
 	return &Sketch{cap: capacity}
 }
 
+// Reserve preallocates the sketch's retained-value storage to its full
+// capacity and pre-creates the reservoir RNG, so every subsequent Add is
+// allocation-free — required by consumers inside allocation-gated steady
+// states (the ingest deadline meter). Reserving changes no result: the
+// value sequence is unaffected and the RNG is deterministic and only
+// consulted past the exact-mode threshold regardless of when it was
+// created.
+func (s *Sketch) Reserve() {
+	if cap(s.vals) < s.cap {
+		vals := make([]float64, len(s.vals), s.cap)
+		copy(vals, s.vals)
+		s.vals = vals
+	}
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(sketchSeed))
+	}
+}
+
 // Add consumes one observation.
 func (s *Sketch) Add(v float64) {
 	s.w.Add(v)
