@@ -7,7 +7,7 @@
 // Usage:
 //
 //	uwposd [-listen :8089] [-max-sessions 8192] [-max-rounds N]
-//	       [-session-ttl 10m] [-round-timeout 2m]
+//	       [-session-ttl 10m] [-round-timeout 2m] [-state-dir DIR]
 //
 // API (see internal/service):
 //
@@ -18,7 +18,12 @@
 //	GET    /v1/healthz
 //	GET    /v1/statz
 //
-// SIGINT/SIGTERM drain in-flight requests before exit.
+// With -state-dir the daemon is crash-safe: every committed round
+// snapshots its session to the directory (atomic rename, checksummed),
+// boot restores all decodable snapshots (quarantining corrupt ones),
+// and a restored session replays byte-identical to the uninterrupted
+// run. SIGINT/SIGTERM drain in-flight requests, then checkpoint every
+// live session before exit.
 package main
 
 import (
@@ -44,22 +49,43 @@ func main() {
 		maxRounds    = flag.Int("max-rounds", 0, "concurrent round executions (0 = GOMAXPROCS)")
 		sessionTTL   = flag.Duration("session-ttl", 0, "idle session eviction (0 = default 10m, <0 = never)")
 		roundTimeout = flag.Duration("round-timeout", 0, "default per-round deadline (0 = default 2m, <0 = none)")
+		stateDir     = flag.String("state-dir", "", "session snapshot directory (empty = no durability)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "bound on connection drain at shutdown")
 	)
 	flag.Parse()
 
-	srv := service.NewServer(service.Config{
+	bootCtx, bootCancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	srv, err := service.NewServer(bootCtx, service.Config{
 		MaxSessions:         *maxSessions,
 		MaxConcurrentRounds: *maxRounds,
 		SessionTTL:          *sessionTTL,
 		RoundTimeout:        *roundTimeout,
+		StateDir:            *stateDir,
 	})
+	bootCancel()
+	if err != nil {
+		log.Fatalf("uwposd: %v", err)
+	}
 	defer srv.Close()
+	if *stateDir != "" {
+		st := srv.Stats()
+		log.Printf("uwposd: state dir %s: restored %d sessions, quarantined %d snapshots",
+			*stateDir, st.Sessions.Restored, persistQuarantined(st))
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("uwposd: %v", err)
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	// Slow-client bounds: a stalled header, a dribbling body, or a parked
+	// idle connection must not pin a goroutine forever. Write timeouts
+	// stay off — round responses legitimately take up to RoundTimeout.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	log.Printf("uwposd: serving on %s", ln.Addr())
 	fmt.Printf("listening on %s\n", ln.Addr()) // parseable by smoke scripts
 
@@ -71,14 +97,26 @@ func main() {
 	select {
 	case s := <-sig:
 		log.Printf("uwposd: %v, draining", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
 			log.Printf("uwposd: shutdown: %v", err)
+		}
+		// In-flight rounds are done (or abandoned at the drain bound):
+		// make every session's last committed round durable.
+		if saved, failed := srv.CheckpointAll(); saved+failed > 0 {
+			log.Printf("uwposd: checkpointed %d sessions (%d failed)", saved, failed)
 		}
 	case err := <-done:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("uwposd: %v", err)
 		}
 	}
+}
+
+func persistQuarantined(st service.Statz) int64 {
+	if st.Persistence == nil {
+		return 0
+	}
+	return st.Persistence.Quarantined
 }

@@ -9,6 +9,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -19,7 +20,10 @@ import (
 )
 
 func main() {
-	srv := service.NewServer(service.Config{})
+	srv, err := service.NewServer(context.Background(), service.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

@@ -9,8 +9,10 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"strings"
@@ -58,6 +60,7 @@ func Service(opt Options) *stats.Table {
 		track    = stats.NewSketch()
 		degraded int
 		failed   int
+		retries  int
 	)
 	fail := func() {
 		mu.Lock()
@@ -70,6 +73,14 @@ func Service(opt Options) *stats.Table {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// Per-worker RNG for backoff jitter: no lock contention on
+			// the retry path, reproducible schedule per (seed, worker).
+			rt := &retrier{client: client, rng: rand.New(rand.NewSource(opt.seed() + int64(i)))}
+			defer func() {
+				mu.Lock()
+				retries += rt.retries
+				mu.Unlock()
+			}()
 			// Distinct seeds keep the simulated acoustics independent
 			// across sessions, like distinct dive groups.
 			spec := map[string]any{
@@ -84,7 +95,7 @@ func Service(opt Options) *stats.Table {
 			var created struct {
 				ID string `json:"id"`
 			}
-			d, status, err := doJSON(client, http.MethodPost, base+"/v1/sessions", spec, &created)
+			d, status, err := rt.do(http.MethodPost, base+"/v1/sessions", spec, &created)
 			if err != nil || status != http.StatusCreated {
 				fail()
 				return
@@ -96,7 +107,7 @@ func Service(opt Options) *stats.Table {
 			var rep struct {
 				Degraded bool `json:"degraded"`
 			}
-			d, status, err = doJSON(client, http.MethodPost,
+			d, status, err = rt.do(http.MethodPost,
 				base+"/v1/sessions/"+created.ID+"/rounds", map[string]any{}, &rep)
 			if err != nil || status != http.StatusOK {
 				fail()
@@ -113,7 +124,7 @@ func Service(opt Options) *stats.Table {
 			var tr struct {
 				Rounds int `json:"rounds"`
 			}
-			d, status, err = doJSON(client, http.MethodGet,
+			d, status, err = rt.do(http.MethodGet,
 				base+"/v1/sessions/"+created.ID+"/track", nil, &tr)
 			if err != nil || status != http.StatusOK || tr.Rounds != 1 {
 				fail()
@@ -123,7 +134,7 @@ func Service(opt Options) *stats.Table {
 			track.Add(d)
 			mu.Unlock()
 
-			_, status, err = doJSON(client, http.MethodDelete,
+			_, status, err = rt.do(http.MethodDelete,
 				base+"/v1/sessions/"+created.ID, nil, nil)
 			if err != nil || status != http.StatusNoContent {
 				fail()
@@ -161,7 +172,9 @@ func Service(opt Options) *stats.Table {
 	t.Rows = append(t.Rows, []string{"sessions failed", fmt.Sprint(failed), "-", "-"})
 	t.Rows = append(t.Rows, []string{"rounds degraded", fmt.Sprint(degraded), "-", "-"})
 	t.Rows = append(t.Rows, []string{"rounds failed (server)", fmt.Sprint(statz.Rounds.Failed), "-", "-"})
+	t.Rows = append(t.Rows, []string{"client retries", fmt.Sprint(retries), "-", "-"})
 	t.Notes = "client e2e includes queue wait behind the round-execution bound; " +
+		"transient 429/5xx answers retry with jittered backoff (counted above); " +
 		"gate on server exec latency and the two failure counters (degraded is allowed, failed is not)."
 	return t
 }
@@ -177,11 +190,14 @@ func serviceBase(opt Options) (string, func(), error) {
 		}
 		return strings.TrimSuffix(addr, "/"), func() {}, nil
 	}
-	srv := service.NewServer(service.Config{
+	srv, err := service.NewServer(context.Background(), service.Config{
 		SessionTTL:   -1,
 		RoundTimeout: -1,
 		MaxSessions:  1 << 20,
 	})
+	if err != nil {
+		return "", nil, err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		srv.Close()
@@ -202,6 +218,43 @@ func serviceErrorTable(err error) *stats.Table {
 		Title:  "uwposd session API load test",
 		Header: []string{"metric", "count", "p50(ms)", "p99(ms)"},
 		Rows:   [][]string{{"error: " + err.Error(), "-", "-", "-"}},
+	}
+}
+
+// retrier wraps doJSON with bounded retry: transient answers — 429 from
+// the registry cap, any 5xx, or a transport error — back off with full
+// jitter (uniform in an exponentially doubling window) and try again,
+// so a load burst against a saturated daemon sheds into waiting clients
+// instead of synchronized re-hammering. Client errors (other 4xx) never
+// retry. Not safe for concurrent use; each worker owns one.
+type retrier struct {
+	client  *http.Client
+	rng     *rand.Rand
+	retries int
+}
+
+// retryAttempts bounds one logical request at 1 try + 3 retries.
+const retryAttempts = 4
+
+// retryBackoff is the first jitter window; it doubles per retry.
+const retryBackoff = 25 * time.Millisecond
+
+func transientStatus(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// do has doJSON's contract, with retries folded in: it returns the final
+// attempt's latency, status and error.
+func (rt *retrier) do(method, url string, body, out any) (float64, int, error) {
+	window := retryBackoff
+	for try := 1; ; try++ {
+		ms, status, err := doJSON(rt.client, method, url, body, out)
+		if try == retryAttempts || (err == nil && !transientStatus(status)) {
+			return ms, status, err
+		}
+		rt.retries++
+		time.Sleep(time.Duration(rt.rng.Int63n(int64(window))))
+		window *= 2
 	}
 }
 

@@ -1,0 +1,207 @@
+package ingest
+
+// Backpressure: what a pipeline does when the deadline meter says it is
+// not keeping up with capture. The decision signal is the Meter's
+// per-buffer budget verdict — EngageMisses consecutive over-budget
+// buffers engage the policy, and the policy's own recovery rule
+// disengages it — so the shedding schedule is a deterministic function
+// of the miss pattern, never of a second clock.
+//
+// Three shedding modes, by what they sacrifice:
+//
+//   - PolicyDrop sacrifices data for immediate relief: shed buffers are
+//     recorded as silence. The sample grid is preserved — the zeros are
+//     delivered in one bulk catch-up at recovery — so downstream lag
+//     indices and timing stay exact; the signal in the shed window is
+//     simply gone, as with a real overrun capture driver.
+//   - PolicyQueue sacrifices latency but not data: shed buffers are
+//     absorbed raw into a bounded queue and replayed through the full
+//     path at recovery. Past QueueDepth buffers the queue is full and
+//     further buffers drop to silence like PolicyDrop.
+//   - PolicyDegrade sacrifices nothing but honesty: every buffer is
+//     still processed; the pipeline just flags itself degraded so the
+//     layer above (e.g. a positioning round) can widen its error bars.
+//
+// The processing relief of Drop/Queue is real but deferred, not free:
+// the capture-time cost of a shed buffer is bookkeeping, and the
+// correlation work happens in one batch at recovery when the meter says
+// there is headroom again.
+
+// PolicyMode selects the shedding behavior of an over-budget pipeline.
+type PolicyMode int
+
+const (
+	// PolicyNone disables backpressure (the zero value): the pipeline
+	// processes every buffer no matter how far over budget it runs.
+	PolicyNone PolicyMode = iota
+	// PolicyDrop sheds over-budget stretches as recorded silence.
+	PolicyDrop
+	// PolicyQueue absorbs over-budget stretches into a bounded queue and
+	// replays them at recovery; overflow drops to silence.
+	PolicyQueue
+	// PolicyDegrade keeps processing and raises the Degraded flag.
+	PolicyDegrade
+)
+
+var policyNames = [...]string{"none", "drop", "queue", "degrade"}
+
+func (m PolicyMode) String() string {
+	if m < 0 || int(m) >= len(policyNames) {
+		return "policy(?)"
+	}
+	return policyNames[m]
+}
+
+// Policy configures backpressure. The zero value disables it.
+type Policy struct {
+	// Mode selects what an engaged policy sheds.
+	Mode PolicyMode
+	// EngageMisses is how many consecutive over-budget buffers engage
+	// shedding (default 3). One slow buffer is noise; a streak is load.
+	EngageMisses int
+	// RecoverHits controls disengagement. For Drop/Queue it is the number
+	// of buffers shed before the pipeline retries normal processing; for
+	// Degrade it is the number of consecutive within-budget buffers that
+	// clear the flag (default 8).
+	RecoverHits int
+	// QueueDepth bounds the PolicyQueue absorption, in buffers
+	// (default 16).
+	QueueDepth int
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.EngageMisses <= 0 {
+		p.EngageMisses = 3
+	}
+	if p.RecoverHits <= 0 {
+		p.RecoverHits = 8
+	}
+	if p.QueueDepth <= 0 {
+		p.QueueDepth = 16
+	}
+	return p
+}
+
+// PolicyReport summarizes a pipeline's backpressure activity.
+type PolicyReport struct {
+	Mode PolicyMode
+	// Engaged reports whether shedding is active right now.
+	Engaged bool
+	// Engagements counts transitions into the engaged state.
+	Engagements int
+	// ShedBuffers counts buffers not processed at capture time
+	// (dropped or queued).
+	ShedBuffers int
+	// DroppedSamples counts samples recorded as silence.
+	DroppedSamples int
+	// QueuedSamples counts samples absorbed and later replayed intact.
+	QueuedSamples int
+	// DegradedBuffers counts buffers processed under an engaged
+	// PolicyDegrade.
+	DegradedBuffers int
+}
+
+// policyState is the per-pipeline backpressure state machine.
+type policyState struct {
+	cfg     Policy
+	engaged bool
+	// missStreak / hitStreak drive engage / degrade-recover transitions.
+	missStreak int
+	hitStreak  int
+	// shedCount counts buffers shed in the current engagement
+	// (Drop/Queue recovery trigger).
+	shedCount int
+
+	// queue holds absorbed raw buffers (PolicyQueue); zeroDeficit is the
+	// silence owed to the sample grid at the next flush.
+	queue       [][]float64
+	queueFree   [][]float64 // recycled buffer slabs
+	zeroDeficit int
+
+	rep PolicyReport
+}
+
+func newPolicyState(cfg Policy) *policyState {
+	cfg = cfg.withDefaults()
+	return &policyState{cfg: cfg, rep: PolicyReport{Mode: cfg.Mode}}
+}
+
+// shedsCapture reports whether the current state withholds buffers from
+// processing (engaged Drop/Queue).
+func (ps *policyState) shedsCapture() bool {
+	return ps.engaged && (ps.cfg.Mode == PolicyDrop || ps.cfg.Mode == PolicyQueue)
+}
+
+// observeVerdict feeds one processed buffer's budget verdict through the
+// state machine.
+func (ps *policyState) observeVerdict(miss bool) {
+	if miss {
+		ps.missStreak++
+		ps.hitStreak = 0
+		if !ps.engaged && ps.missStreak >= ps.cfg.EngageMisses {
+			ps.engage()
+		}
+		return
+	}
+	ps.hitStreak++
+	ps.missStreak = 0
+	if ps.engaged && ps.cfg.Mode == PolicyDegrade && ps.hitStreak >= ps.cfg.RecoverHits {
+		ps.disengage()
+	}
+}
+
+func (ps *policyState) engage() {
+	ps.engaged = true
+	ps.shedCount = 0
+	ps.rep.Engagements++
+	ps.rep.Engaged = true
+}
+
+func (ps *policyState) disengage() {
+	ps.engaged = false
+	ps.missStreak, ps.hitStreak, ps.shedCount = 0, 0, 0
+	ps.rep.Engaged = false
+}
+
+// absorb takes one capture buffer while shedding: queue it (PolicyQueue,
+// space permitting) or convert it to owed silence. Reports whether the
+// engagement is over and the caller should flush.
+func (ps *policyState) absorb(buf []float64) (recover bool) {
+	ps.rep.ShedBuffers++
+	ps.shedCount++
+	if ps.cfg.Mode == PolicyQueue && len(ps.queue) < ps.cfg.QueueDepth {
+		q := ps.takeSlab(len(buf))
+		copy(q, buf)
+		ps.queue = append(ps.queue, q)
+		ps.rep.QueuedSamples += len(buf)
+	} else {
+		ps.zeroDeficit += len(buf)
+		ps.rep.DroppedSamples += len(buf)
+	}
+	return ps.shedCount >= ps.cfg.RecoverHits
+}
+
+// takeSlab reuses a recycled queue slab when one is big enough.
+func (ps *policyState) takeSlab(n int) []float64 {
+	for i, s := range ps.queueFree {
+		if cap(s) >= n {
+			ps.queueFree[i] = ps.queueFree[len(ps.queueFree)-1]
+			ps.queueFree = ps.queueFree[:len(ps.queueFree)-1]
+			return s[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// drain returns the queued buffers and owed silence, resetting both; the
+// caller replays them in capture order (queue first — overflow silence
+// chronologically follows a full queue) and then calls recycle.
+func (ps *policyState) drain() (queued [][]float64, zeros int) {
+	queued, zeros = ps.queue, ps.zeroDeficit
+	ps.queue, ps.zeroDeficit = ps.queue[:0], 0
+	return queued, zeros
+}
+
+func (ps *policyState) recycle(bufs [][]float64) {
+	ps.queueFree = append(ps.queueFree, bufs...)
+}

@@ -1,0 +1,228 @@
+package ingest_test
+
+import (
+	"testing"
+	"time"
+
+	"uwpos/internal/faultinject"
+	"uwpos/internal/ingest"
+)
+
+// Backpressure tests drive the policy with injected buffer latency:
+// armed FaultBufferLatency consultations backdate the meter's start
+// time, so the miss schedule — and therefore the shedding schedule —
+// is exact and machine-independent. The correctness bar throughout is
+// equivalence: a policy pipeline's output must be bit-identical to a
+// plain pipeline fed the stream the policy semantically decided on
+// (original samples where processed or queued, silence where dropped).
+
+const (
+	polFS  = 44100.0
+	polBuf = 1024 // samples per pushed buffer
+)
+
+// polInjector returns an injector whose armed buffer-latency faults
+// guarantee a budget miss at 10 s against real sub-second processing.
+func polInjector() *faultinject.Injector {
+	return faultinject.New(faultinject.Config{BufferLatency: 10 * time.Second})
+}
+
+// polStream is a deterministic noise stream with one template instance.
+func polStream(nBuffers int) []float64 {
+	bank := testBank(polFS)
+	stream := noiseStream(nBuffers*polBuf, 23)
+	copy(stream[2*polBuf:], bank.Matcher(0).Template())
+	return stream
+}
+
+// collectAll runs stream through a pipeline in polBuf buffers and
+// returns each template's collected lags.
+func collectAll(p *ingest.Pipeline, nTemplates int, stream []float64) [][]float64 {
+	cols := make([]*ingest.Collect, nTemplates)
+	for i := range cols {
+		cols[i] = ingest.NewCollect(i, len(stream))
+		p.Register(cols[i])
+	}
+	for off := 0; off < len(stream); off += polBuf {
+		p.Push(stream[off : off+polBuf])
+	}
+	p.Close()
+	out := make([][]float64, nTemplates)
+	for i, c := range cols {
+		out[i] = c.Corr()
+	}
+	return out
+}
+
+// zeroBuffers returns a copy of stream with buffers [from, to) silenced.
+func zeroBuffers(stream []float64, from, to int) []float64 {
+	out := append([]float64(nil), stream...)
+	for i := from * polBuf; i < to*polBuf && i < len(out); i++ {
+		out[i] = 0
+	}
+	return out
+}
+
+func assertSameLags(t *testing.T, got, want [][]float64, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d vs %d templates", label, len(got), len(want))
+	}
+	for tpl := range want {
+		if len(got[tpl]) != len(want[tpl]) {
+			t.Fatalf("%s: template %d lag count %d vs %d", label, tpl, len(got[tpl]), len(want[tpl]))
+		}
+		for i := range want[tpl] {
+			if got[tpl][i] != want[tpl][i] {
+				t.Fatalf("%s: template %d lag %d differs: %g vs %g",
+					label, tpl, i, got[tpl][i], want[tpl][i])
+			}
+		}
+	}
+}
+
+// TestPolicyDropShedsToSilence: three consecutive misses engage the
+// policy; the next RecoverHits buffers are dropped; output equals a
+// plain pipeline fed the same stream with that window silenced.
+func TestPolicyDropShedsToSilence(t *testing.T) {
+	const nBuffers = 24
+	bank := testBank(polFS)
+	stream := polStream(nBuffers)
+
+	inj := polInjector()
+	inj.Arm(faultinject.FaultBufferLatency, 3) // buffers 0..2 miss
+	pol := ingest.Policy{Mode: ingest.PolicyDrop, EngageMisses: 3, RecoverHits: 5}
+	p := ingest.New(ingest.Config{
+		Bank: bank, SampleRate: polFS,
+		Meter: ingest.NewMeter(5.0), Policy: pol, Injector: inj,
+	})
+	got := collectAll(p, bank.Len(), stream)
+
+	// Engagement lands on buffer 2's verdict, so buffers 3..7 shed.
+	ref := ingest.New(ingest.Config{Bank: bank})
+	want := collectAll(ref, bank.Len(), zeroBuffers(stream, 3, 8))
+	assertSameLags(t, got, want, "drop")
+
+	rep := p.PolicyReport()
+	if rep.Mode != ingest.PolicyDrop || rep.Engagements != 1 || rep.Engaged {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.ShedBuffers != 5 || rep.DroppedSamples != 5*polBuf || rep.QueuedSamples != 0 {
+		t.Fatalf("shed accounting %+v", rep)
+	}
+}
+
+// TestPolicyQueueLosesNothing: with room in the queue, the shed window
+// replays intact — output identical to the unmodified stream.
+func TestPolicyQueueLosesNothing(t *testing.T) {
+	const nBuffers = 24
+	bank := testBank(polFS)
+	stream := polStream(nBuffers)
+
+	inj := polInjector()
+	inj.Arm(faultinject.FaultBufferLatency, 3)
+	pol := ingest.Policy{Mode: ingest.PolicyQueue, EngageMisses: 3, RecoverHits: 4, QueueDepth: 8}
+	p := ingest.New(ingest.Config{
+		Bank: bank, SampleRate: polFS,
+		Meter: ingest.NewMeter(5.0), Policy: pol, Injector: inj,
+	})
+	got := collectAll(p, bank.Len(), stream)
+
+	ref := ingest.New(ingest.Config{Bank: bank})
+	want := collectAll(ref, bank.Len(), stream)
+	assertSameLags(t, got, want, "queue")
+
+	rep := p.PolicyReport()
+	if rep.ShedBuffers != 4 || rep.QueuedSamples != 4*polBuf || rep.DroppedSamples != 0 {
+		t.Fatalf("queue accounting %+v", rep)
+	}
+}
+
+// TestPolicyQueueOverflowDropsTail: a full queue degrades chronologically
+// to silence — the first QueueDepth shed buffers survive, the rest drop.
+func TestPolicyQueueOverflowDropsTail(t *testing.T) {
+	const nBuffers = 24
+	bank := testBank(polFS)
+	stream := polStream(nBuffers)
+
+	inj := polInjector()
+	inj.Arm(faultinject.FaultBufferLatency, 3)
+	pol := ingest.Policy{Mode: ingest.PolicyQueue, EngageMisses: 3, RecoverHits: 6, QueueDepth: 2}
+	p := ingest.New(ingest.Config{
+		Bank: bank, SampleRate: polFS,
+		Meter: ingest.NewMeter(5.0), Policy: pol, Injector: inj,
+	})
+	got := collectAll(p, bank.Len(), stream)
+
+	// Shed window is buffers 3..8: 3 and 4 queue (replay intact),
+	// 5..8 overflow to silence.
+	ref := ingest.New(ingest.Config{Bank: bank})
+	want := collectAll(ref, bank.Len(), zeroBuffers(stream, 5, 9))
+	assertSameLags(t, got, want, "overflow")
+
+	rep := p.PolicyReport()
+	if rep.QueuedSamples != 2*polBuf || rep.DroppedSamples != 4*polBuf {
+		t.Fatalf("overflow accounting %+v", rep)
+	}
+}
+
+// TestPolicyDegradeKeepsData: degrade mode processes everything —
+// output identical to no policy — and the flag raises on the miss
+// streak, clears after RecoverHits clean buffers.
+func TestPolicyDegradeKeepsData(t *testing.T) {
+	const nBuffers = 16
+	bank := testBank(polFS)
+	stream := polStream(nBuffers)
+
+	inj := polInjector()
+	inj.Arm(faultinject.FaultBufferLatency, 3)
+	pol := ingest.Policy{Mode: ingest.PolicyDegrade, EngageMisses: 3, RecoverHits: 4}
+	p := ingest.New(ingest.Config{
+		Bank: bank, SampleRate: polFS,
+		Meter: ingest.NewMeter(5.0), Policy: pol, Injector: inj,
+	})
+	got := collectAll(p, bank.Len(), stream)
+
+	ref := ingest.New(ingest.Config{Bank: bank})
+	want := collectAll(ref, bank.Len(), stream)
+	assertSameLags(t, got, want, "degrade")
+
+	rep := p.PolicyReport()
+	if rep.Engagements != 1 || rep.Engaged {
+		t.Fatalf("report %+v", rep)
+	}
+	// Engaged on buffer 2's verdict; buffers 3..6 process degraded and
+	// their 4 consecutive hits clear the flag.
+	if rep.DegradedBuffers != 4 || rep.DroppedSamples != 0 || rep.ShedBuffers != 0 {
+		t.Fatalf("degrade accounting %+v", rep)
+	}
+}
+
+// TestPolicyCloseFlushesShedWindow: a stream that ends mid-engagement
+// still delivers every queued sample and owed zero at Close — lag
+// counts match the one-shot scan exactly.
+func TestPolicyCloseFlushesShedWindow(t *testing.T) {
+	const nBuffers = 8
+	bank := testBank(polFS)
+	stream := polStream(nBuffers)
+
+	inj := polInjector()
+	inj.Arm(faultinject.FaultBufferLatency, 3)
+	// RecoverHits larger than the remaining stream: Close must flush.
+	pol := ingest.Policy{Mode: ingest.PolicyQueue, EngageMisses: 3, RecoverHits: 100, QueueDepth: 3}
+	p := ingest.New(ingest.Config{
+		Bank: bank, SampleRate: polFS,
+		Meter: ingest.NewMeter(5.0), Policy: pol, Injector: inj,
+	})
+	got := collectAll(p, bank.Len(), stream)
+
+	// Shed window is buffers 3..7: 3 queued buffers replay, 2 drop.
+	ref := ingest.New(ingest.Config{Bank: bank})
+	want := collectAll(ref, bank.Len(), zeroBuffers(stream, 6, 8))
+	assertSameLags(t, got, want, "close-flush")
+
+	rep := p.PolicyReport()
+	if rep.ShedBuffers != 5 || rep.QueuedSamples != 3*polBuf || rep.DroppedSamples != 2*polBuf {
+		t.Fatalf("close-flush accounting %+v", rep)
+	}
+}

@@ -1,0 +1,217 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+
+	"uwpos"
+)
+
+// This file is the durability half of the session layer: how a live
+// session becomes bytes on disk (snapshotLocked/persistLocked) and how
+// bytes on disk become live sessions again (restoreAll/restoreSession).
+//
+// The correctness contract is the checkpoint invariant from the uwpos
+// package: a session is a pure function of its spec plus (RNG cursor,
+// tracker state, round counters), so a restored session continues with
+// rounds byte-identical to the uninterrupted run. The durability
+// contract is snapshot-on-round-commit with atomic rename: after a
+// crash, every session resumes from its last committed round — at most
+// the in-flight round is lost, and the client retries it.
+
+// snapshotLocked captures the session's durable state. Caller holds s.mu.
+func (s *Session) snapshotLocked() (*sessionSnapshot, error) {
+	cp, err := s.sys.Checkpoint()
+	if err != nil {
+		return nil, err
+	}
+	trk, err := s.tracker.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return &sessionSnapshot{
+		ID:       s.ID,
+		Spec:     s.spec,
+		Seed:     cp.Seed,
+		RNGDraws: cp.RNGDraws,
+		Rounds:   s.rounds,
+		Degraded: s.degraded,
+		Clock:    s.clock,
+		HasFix:   s.hasFix,
+		Tracker:  trk,
+	}, nil
+}
+
+// persistLocked snapshots the session to the server's store, reporting
+// whether a save landed. Caller holds s.mu — the snapshot is taken at a
+// round boundary, which is the only place the durable invariant holds.
+// Persistence failures are counted, not returned to the round's client:
+// the round already committed in memory and the client must see its
+// result; losing one snapshot write only widens the replay window to
+// the previous committed round.
+func (s *Session) persistLocked() bool {
+	st := s.srv.store
+	if st == nil {
+		return false
+	}
+	sn, err := s.snapshotLocked()
+	if err != nil {
+		s.srv.stats.snapshotErrors.Add(1)
+		return false
+	}
+	blob, err := sn.encode()
+	if err != nil {
+		s.srv.stats.snapshotErrors.Add(1)
+		return false
+	}
+	if err := st.Save(s.ID, blob); err != nil {
+		s.srv.stats.snapshotErrors.Add(1)
+		return false
+	}
+	s.srv.stats.snapshotSaves.Add(1)
+	return true
+}
+
+// restoreSession rebuilds a live session from a decoded snapshot:
+// fresh System from the spec, RNG fast-forwarded to the cursor, tracker
+// and counters reloaded. Any failure means the snapshot cannot produce a
+// faithful session (spec no longer valid, seed mismatch, tracker blob
+// from a future version) and the caller quarantines it.
+func restoreSession(ctx context.Context, sn *sessionSnapshot, srv *Server) (*Session, error) {
+	sess, err := newSession(sn.Spec, srv)
+	if err != nil {
+		return nil, fmt.Errorf("rebuilding deployment: %w", err)
+	}
+	cp := uwpos.Checkpoint{Seed: sn.Seed, RNGDraws: sn.RNGDraws}
+	if err := sess.sys.RestoreCheckpoint(ctx, cp); err != nil {
+		return nil, fmt.Errorf("replaying RNG cursor: %w", err)
+	}
+	if len(sn.Tracker) > 0 {
+		if err := sess.tracker.UnmarshalBinary(sn.Tracker); err != nil {
+			return nil, fmt.Errorf("restoring tracker: %w", err)
+		}
+	}
+	sess.ID = sn.ID
+	sess.rounds = sn.Rounds
+	sess.degraded = sn.Degraded
+	sess.clock = sn.Clock
+	sess.hasFix = sn.HasFix
+	return sess, nil
+}
+
+// restoreAll loads every snapshot in the store, in parallel (the RNG
+// fast-forward is pure CPU), quarantining any that fail to decode or
+// restore. It also advances nextID past every ID seen on disk so new
+// sessions never collide with restored ones.
+func (s *Server) restoreAll(ctx context.Context) error {
+	ids, err := s.store.List()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if n, ok := numericSessionID(id); ok && n > s.nextID {
+			s.nextID = n
+		}
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, id := range ids {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(id string) {
+			defer func() { <-sem; wg.Done() }()
+			s.restoreOne(ctx, id)
+		}(id)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// restoreOne restores a single on-disk snapshot into the registry, or
+// quarantines it. Never fatal: a boot with a bad snapshot serves every
+// good session and leaves the bad bytes where an operator can find them.
+func (s *Server) restoreOne(ctx context.Context, id string) {
+	quarantine := func() {
+		if err := s.store.Quarantine(id); err == nil {
+			s.stats.snapshotQuarantined.Add(1)
+		}
+	}
+	blob, err := s.store.Load(id)
+	if err != nil {
+		quarantine()
+		return
+	}
+	sn, err := decodeSnapshot(blob)
+	if err != nil {
+		quarantine()
+		return
+	}
+	if sn.ID != id {
+		// A snapshot renamed to another session's slot would resurrect
+		// under the wrong identity — treat as corruption.
+		quarantine()
+		return
+	}
+	sess, err := restoreSession(ctx, sn, s)
+	if err != nil {
+		quarantine()
+		return
+	}
+	s.mu.Lock()
+	s.sessions[sess.ID] = sess
+	s.mu.Unlock()
+	s.stats.sessionsRestored.Add(1)
+}
+
+// numericSessionID parses the "s-<n>" IDs CreateSession mints.
+func numericSessionID(id string) (int64, bool) {
+	rest, ok := strings.CutPrefix(id, "s-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(rest, 10, 64)
+	return n, err == nil
+}
+
+// CheckpointAll snapshots every live session, serializing against any
+// in-flight round on each. This is the SIGTERM drain path: after it
+// returns, every session's last committed round is durable. It reports
+// how many sessions saved and how many failed (failures are also in the
+// save_errors counter). No-op without a state directory.
+func (s *Server) CheckpointAll() (saved, failed int) {
+	if s.store == nil {
+		return 0, 0
+	}
+	s.mu.Lock()
+	live := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		live = append(live, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range live {
+		sess.mu.Lock()
+		ok := sess.persistLocked()
+		sess.mu.Unlock()
+		if ok {
+			saved++
+		} else {
+			failed++
+		}
+	}
+	return saved, failed
+}
+
+// dropSnapshot removes a deleted or evicted session's snapshot so it
+// cannot resurrect on the next boot.
+func (s *Server) dropSnapshot(id string) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Delete(id); err != nil {
+		s.stats.snapshotErrors.Add(1)
+	}
+}

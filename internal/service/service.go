@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"uwpos"
+	"uwpos/internal/faultinject"
 	"uwpos/internal/stats"
 )
 
@@ -58,6 +59,14 @@ type Config struct {
 	// RoundTimeout caps one round's end-to-end time when the request does
 	// not set its own (default 2 min; negative disables the cap).
 	RoundTimeout time.Duration
+	// StateDir enables crash-safe session durability: every committed
+	// round snapshots its session here (atomic rename, checksummed), and
+	// NewServer restores all decodable snapshots on boot, quarantining
+	// corrupt ones instead of failing. Empty disables persistence.
+	StateDir string
+	// Injector threads deterministic fault injection into the durability
+	// and round paths. Nil (the production value) is inert.
+	Injector *faultinject.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -89,14 +98,21 @@ type Server struct {
 	// roundSem bounds concurrent round execution process-wide.
 	roundSem chan struct{}
 
+	// store persists session snapshots; nil when Config.StateDir is empty.
+	store *Store
+
 	stats serverStats
 
 	evictStop chan struct{}
 	evictDone chan struct{}
 }
 
-// NewServer builds a Server and starts its TTL eviction loop.
-func NewServer(cfg Config) *Server {
+// NewServer builds a Server and starts its TTL eviction loop. With
+// Config.StateDir set it also opens the snapshot store and restores
+// every decodable session from disk before returning; the error covers
+// an unusable state directory only — individual corrupt snapshots are
+// quarantined and counted, never fatal.
+func NewServer(ctx context.Context, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:       cfg,
@@ -107,8 +123,18 @@ func NewServer(cfg Config) *Server {
 		evictDone: make(chan struct{}),
 	}
 	s.stats.init()
+	if cfg.StateDir != "" {
+		store, err := OpenStore(cfg.StateDir, cfg.Injector)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+		if err := s.restoreAll(ctx); err != nil {
+			return nil, err
+		}
+	}
 	go s.evictLoop()
-	return s
+	return s, nil
 }
 
 // Close stops the eviction loop and drops all sessions.
@@ -165,6 +191,7 @@ func (s *Server) DeleteSession(id string) error {
 	}
 	delete(s.sessions, id)
 	s.stats.sessionsDeleted.Add(1)
+	s.dropSnapshot(id)
 	return nil
 }
 
@@ -221,6 +248,7 @@ func (s *Server) evictIdle(now time.Time) int {
 		if now.Sub(sess.lastUsed()) > s.cfg.SessionTTL {
 			delete(s.sessions, id)
 			s.stats.sessionsEvicted.Add(1)
+			s.dropSnapshot(id)
 			n++
 		}
 	}
@@ -269,12 +297,17 @@ func (c *counter) Load() int64 {
 }
 
 type serverStats struct {
-	sessionsCreated counter
-	sessionsDeleted counter
-	sessionsEvicted counter
-	roundsTotal     counter
-	roundsDegraded  counter
-	roundsFailed    counter
+	sessionsCreated  counter
+	sessionsDeleted  counter
+	sessionsEvicted  counter
+	sessionsRestored counter
+	roundsTotal      counter
+	roundsDegraded   counter
+	roundsFailed     counter
+
+	snapshotSaves       counter
+	snapshotErrors      counter
+	snapshotQuarantined counter
 
 	// roundE2E includes queue wait; roundExec is simulator time only.
 	roundE2E  *latencySketch
@@ -294,6 +327,9 @@ type Statz struct {
 	Sessions  SessionCounts      `json:"sessions"`
 	Rounds    RoundCounts        `json:"rounds"`
 	LatencyMS map[string]Latency `json:"latency_ms"`
+	// Persistence is present only when the server runs with a state
+	// directory.
+	Persistence *PersistenceCounts `json:"persistence,omitempty"`
 }
 
 // SessionCounts aggregates session lifecycle counters.
@@ -302,6 +338,20 @@ type SessionCounts struct {
 	Active  int   `json:"active"`
 	Deleted int64 `json:"deleted"`
 	Evicted int64 `json:"evicted"`
+	// Restored counts sessions rebuilt from disk snapshots at boot.
+	Restored int64 `json:"restored,omitempty"`
+}
+
+// PersistenceCounts aggregates snapshot durability counters.
+type PersistenceCounts struct {
+	// Saves counts snapshot writes that reached disk.
+	Saves int64 `json:"saves"`
+	// SaveErrors counts snapshot writes that failed (the session kept
+	// serving; its replay window widened to the previous save).
+	SaveErrors int64 `json:"save_errors"`
+	// Quarantined counts on-disk snapshots moved aside at boot because
+	// they failed checksum, decode, or restore.
+	Quarantined int64 `json:"quarantined"`
 }
 
 // RoundCounts aggregates round outcomes. Degraded rounds are included in
@@ -325,10 +375,11 @@ func (s *Server) Stats() Statz {
 	st := Statz{
 		UptimeSec: time.Since(s.started).Seconds(),
 		Sessions: SessionCounts{
-			Created: s.stats.sessionsCreated.Load(),
-			Active:  s.ActiveSessions(),
-			Deleted: s.stats.sessionsDeleted.Load(),
-			Evicted: s.stats.sessionsEvicted.Load(),
+			Created:  s.stats.sessionsCreated.Load(),
+			Active:   s.ActiveSessions(),
+			Deleted:  s.stats.sessionsDeleted.Load(),
+			Evicted:  s.stats.sessionsEvicted.Load(),
+			Restored: s.stats.sessionsRestored.Load(),
 		},
 		Rounds: RoundCounts{
 			Total:    s.stats.roundsTotal.Load(),
@@ -350,6 +401,13 @@ func (s *Server) Stats() Statz {
 			}
 		}
 		st.LatencyMS[name] = Latency{Count: n, P50: qs[0], P90: qs[1], P99: qs[2]}
+	}
+	if s.store != nil {
+		st.Persistence = &PersistenceCounts{
+			Saves:       s.stats.snapshotSaves.Load(),
+			SaveErrors:  s.stats.snapshotErrors.Load(),
+			Quarantined: s.stats.snapshotQuarantined.Load(),
+		}
 	}
 	return st
 }

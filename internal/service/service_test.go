@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -21,10 +22,23 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.RoundTimeout == 0 {
 		cfg.RoundTimeout = -1
 	}
-	srv := NewServer(cfg)
+	srv, err := NewServer(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() { ts.Close(); srv.Close() })
 	return srv, ts
+}
+
+// newBareServer builds a handler-less server for unit-level tests.
+func newBareServer(t *testing.T) *Server {
+	t.Helper()
+	srv, err := NewServer(context.Background(), Config{SessionTTL: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
 }
 
 func doReq(t *testing.T, method, url string, body any) (int, map[string]any) {
@@ -259,7 +273,7 @@ func outcome(stress float64, dropped [][2]int) *uwpos.RoundOutcome {
 }
 
 func TestConsumeRoundClean(t *testing.T) {
-	srv := NewServer(Config{SessionTTL: -1})
+	srv := newBareServer(t)
 	defer srv.Close()
 	s := testSession(t, srv)
 	rep := &RoundReport{AtSec: 0}
@@ -278,7 +292,7 @@ func TestConsumeRoundClean(t *testing.T) {
 }
 
 func TestConsumeRoundHighStress(t *testing.T) {
-	srv := NewServer(Config{SessionTTL: -1})
+	srv := newBareServer(t)
 	defer srv.Close()
 	s := testSession(t, srv)
 	rep := &RoundReport{}
@@ -294,7 +308,7 @@ func TestConsumeRoundHighStress(t *testing.T) {
 }
 
 func TestConsumeRoundDroppedLinks(t *testing.T) {
-	srv := NewServer(Config{SessionTTL: -1})
+	srv := newBareServer(t)
 	defer srv.Close()
 	s := testSession(t, srv)
 	rep := &RoundReport{}
@@ -313,7 +327,7 @@ func TestConsumeRoundDroppedLinks(t *testing.T) {
 }
 
 func TestDegradeRoundExtrapolates(t *testing.T) {
-	srv := NewServer(Config{SessionTTL: -1})
+	srv := newBareServer(t)
 	defer srv.Close()
 	s := testSession(t, srv)
 
@@ -345,7 +359,7 @@ func TestDegradeRoundExtrapolates(t *testing.T) {
 }
 
 func TestRoundTimestampBackwards(t *testing.T) {
-	srv := NewServer(Config{SessionTTL: -1})
+	srv := newBareServer(t)
 	defer srv.Close()
 	s := testSession(t, srv)
 	s.clock, s.hasFix = 20, true

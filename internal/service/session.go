@@ -191,10 +191,39 @@ func (s *Session) RunRound(ctx context.Context, req RoundRequest) (*RoundReport,
 		return nil, uwpos.ConfigError{Field: "AtSec", Reason: "round timestamp moves backwards"}
 	}
 
+	// Injected round latency (inert without a fault injector) stalls the
+	// round while still honouring the caller's deadline.
+	inj := s.srv.cfg.Injector
+	if d := inj.RoundLatency(); d > 0 {
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			s.srv.stats.roundsFailed.Add(1)
+			return nil, ctx.Err()
+		}
+	}
+
 	execStart := time.Now()
-	out, err := s.sys.Locate(ctx)
+	var out *uwpos.RoundOutcome
+	if inj.DropAnchors() {
+		// Injected anchor loss takes the same soft-failure path real
+		// unusable acoustics would.
+		err = errors.New("injected fault: all anchor measurements dropped")
+	} else {
+		out, err = s.sys.Locate(ctx)
+	}
 	execD := time.Since(execStart)
 	s.srv.stats.roundExec.add(execD)
+
+	if inj.Kill("round-commit") {
+		// Crash emulation: the round ran but nothing commits — in memory
+		// or on disk — exactly the state a kill -9 here would leave. The
+		// client sees a failure and retries against the prior round.
+		s.srv.stats.roundsFailed.Add(1)
+		return nil, errors.New("service: injected crash before round commit")
+	}
 
 	rep := &RoundReport{AtSec: at}
 	switch {
@@ -216,6 +245,11 @@ func (s *Session) RunRound(ctx context.Context, req RoundRequest) (*RoundReport,
 		s.srv.stats.roundsDegraded.Add(1)
 	}
 	s.srv.stats.roundsTotal.Add(1)
+	// Round committed: make it durable before answering, so a crash
+	// after this response never rolls the session behind what the client
+	// has seen. Persistence failure is counted, not surfaced — the round
+	// result is already authoritative in memory.
+	s.persistLocked()
 	e2e := time.Since(start)
 	s.srv.stats.roundE2E.add(e2e)
 	rep.ElapsedMS = float64(e2e) / float64(time.Millisecond)

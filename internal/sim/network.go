@@ -120,11 +120,15 @@ type Config struct {
 
 // Network is an instantiated scenario.
 type Network struct {
-	cfg     Config
-	env     *channel.Environment
-	params  sig.Params
-	proto   protocol.Params
-	rng     *rand.Rand
+	cfg    Config
+	env    *channel.Environment
+	params sig.Params
+	proto  protocol.Params
+	rng    *rand.Rand
+	// count wraps the Seed-built random source to make the stream
+	// position observable for checkpointing (see snapshot.go); nil when
+	// the caller supplied Config.Rng.
+	count   *countingSource
 	devices []*simDevice
 	idLen   int       // samples of the MFSK ID section
 	pre     []float64 // cached preamble waveform (shared, read-only)
@@ -186,8 +190,14 @@ func NewNetwork(cfg Config) (*Network, error) {
 	params := sig.DefaultParams()
 	proto := protocol.DefaultParams(n)
 	rng := cfg.Rng
+	var count *countingSource
 	if rng == nil {
-		rng = rand.New(rand.NewSource(cfg.Seed))
+		// Seed-built scenarios draw through a counting wrapper whose
+		// output is bit-identical to the raw source, so the stream
+		// position — the Network's only cross-round mutable state — can
+		// be checkpointed and replayed (snapshot.go).
+		count = newCountingSource(cfg.Seed)
+		rng = rand.New(count)
 	}
 	nw := &Network{
 		cfg:    cfg,
@@ -195,6 +205,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		params: params,
 		proto:  proto,
 		rng:    rng,
+		count:  count,
 		idLen:  int(0.055 * params.SampleRate), // preamble 223 ms + ID 55 ms = T_packet
 		pre:    sig.SharedPreamble(params),
 		faults: make(map[[2]int]LinkFault),

@@ -1,0 +1,96 @@
+// Session persistence support: the simulator's contribution to a
+// crash-safe uwposd is the observation that a Network's entire mutable
+// cross-round state is the position of its random stream. Devices, audio
+// stacks, sensors and channel taps are rebuilt every round as pure
+// functions of the (immutable) Config plus RNG draws, and the channel's
+// cached impulse-response tables are derived data — so checkpointing a
+// scenario reduces to one number: how many raw draws the source has
+// produced. Restoring replays that many draws on a fresh source with the
+// same seed, after which every subsequent round is byte-identical to an
+// uninterrupted run.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+)
+
+// countingSource wraps the scenario's rand.Source64, counting raw draws.
+// Both Int63 and Uint64 advance the underlying generator state by exactly
+// one step (math/rand's rngSource implements Int63 as a masked Uint64),
+// so the count alone pins the stream position, and the wrapper's output
+// is bit-identical to the unwrapped source — the invariant
+// TestCountingSourceStreamIdentity enforces.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.draws = 0
+}
+
+// RNGDraws returns the number of raw draws the scenario's random source
+// has produced — the complete mutable state of the Network between
+// rounds. The second return is false when the Network was built with an
+// externally supplied Config.Rng (the parallel trial engine's path),
+// whose position the Network cannot observe; such scenarios are not
+// checkpointable.
+func (nw *Network) RNGDraws() (uint64, bool) {
+	if nw.count == nil {
+		return 0, false
+	}
+	return nw.count.draws, true
+}
+
+// advanceChunk is how many raw draws AdvanceRNG burns between context
+// checks. Draws cost ~2 ns each, so a chunk is ~130 µs of work.
+const advanceChunk = 1 << 16
+
+// AdvanceRNG fast-forwards the scenario's random source until exactly
+// draws raw values have been produced since construction, restoring the
+// stream position recorded by RNGDraws. It fails on an external-Rng
+// network, or when the source is already past the target (a snapshot can
+// only be restored into a Network that has run fewer draws — in practice
+// a freshly built one). A session's worth of rounds is tens of millions
+// of draws (noise synthesis dominates: a few per rendered sample), which
+// replays in tens of milliseconds; ctx is checked every 64Ki draws so a
+// boot deadline can abandon a pathological snapshot.
+func (nw *Network) AdvanceRNG(ctx context.Context, draws uint64) error {
+	if nw.count == nil {
+		return fmt.Errorf("sim: network built with an external Rng; RNG state is not restorable")
+	}
+	if nw.count.draws > draws {
+		return fmt.Errorf("sim: RNG already at %d draws, past snapshot at %d", nw.count.draws, draws)
+	}
+	for nw.count.draws < draws {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n := draws - nw.count.draws
+		if n > advanceChunk {
+			n = advanceChunk
+		}
+		for i := uint64(0); i < n; i++ {
+			nw.count.src.Uint64()
+		}
+		nw.count.draws += n
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"uwpos/internal/channel"
+	"uwpos/internal/device"
+	"uwpos/internal/geom"
+)
+
+// TestCountingSourceStreamIdentity pins the checkpointing premise: the
+// counting wrapper must not perturb the random stream in any draw mode
+// math/rand can route through it.
+func TestCountingSourceStreamIdentity(t *testing.T) {
+	for _, seed := range []int64{1, 7, 12345} {
+		plain := rand.New(rand.NewSource(seed))
+		cs := newCountingSource(seed)
+		counted := rand.New(cs)
+		for i := 0; i < 10000; i++ {
+			switch i % 4 {
+			case 0:
+				if a, b := plain.Float64(), counted.Float64(); a != b {
+					t.Fatalf("seed %d draw %d: Float64 %v != %v", seed, i, a, b)
+				}
+			case 1:
+				if a, b := plain.NormFloat64(), counted.NormFloat64(); a != b {
+					t.Fatalf("seed %d draw %d: NormFloat64 %v != %v", seed, i, a, b)
+				}
+			case 2:
+				if a, b := plain.Uint64(), counted.Uint64(); a != b {
+					t.Fatalf("seed %d draw %d: Uint64 %v != %v", seed, i, a, b)
+				}
+			case 3:
+				if a, b := plain.Intn(997), counted.Intn(997); a != b {
+					t.Fatalf("seed %d draw %d: Intn %v != %v", seed, i, a, b)
+				}
+			}
+		}
+		if cs.draws == 0 {
+			t.Fatalf("seed %d: no draws counted", seed)
+		}
+	}
+}
+
+// TestNetworkAdvanceRNG proves the replay invariant at the source level:
+// a fresh network advanced by N raw draws continues bit-identically to
+// one that produced those N draws through arbitrary Rand methods.
+func TestNetworkAdvanceRNG(t *testing.T) {
+	build := func() *Network {
+		nw, err := NewNetwork(testConfigSnapshot(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw
+	}
+	a := build()
+	// Consume a mixed sequence through the live Rand.
+	for i := 0; i < 5000; i++ {
+		switch i % 3 {
+		case 0:
+			a.rng.Float64()
+		case 1:
+			a.rng.NormFloat64()
+		case 2:
+			a.rng.Intn(100)
+		}
+	}
+	draws, ok := a.RNGDraws()
+	if !ok {
+		t.Fatal("seed-built network must be checkpointable")
+	}
+	if draws == 0 {
+		t.Fatal("no draws recorded")
+	}
+
+	b := build()
+	if err := b.AdvanceRNG(context.Background(), draws); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if x, y := a.rng.Uint64(), b.rng.Uint64(); x != y {
+			t.Fatalf("diverged at post-restore draw %d: %d != %d", i, x, y)
+		}
+	}
+
+	// Rewinding is not a thing.
+	if err := b.AdvanceRNG(context.Background(), 1); err == nil {
+		t.Fatal("expected error advancing backwards")
+	}
+	// Cancellation aborts a long fast-forward.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := build()
+	if err := c.AdvanceRNG(ctx, 1<<30); err == nil {
+		t.Fatal("expected context error")
+	}
+}
+
+// TestExternalRngNotCheckpointable: the engine's per-trial Rng path must
+// report itself non-restorable rather than silently miscounting.
+func TestExternalRngNotCheckpointable(t *testing.T) {
+	cfg := testConfigSnapshot(1)
+	cfg.Rng = rand.New(rand.NewSource(1))
+	nw, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := nw.RNGDraws(); ok {
+		t.Fatal("external-Rng network claimed to be checkpointable")
+	}
+	if err := nw.AdvanceRNG(context.Background(), 10); err == nil {
+		t.Fatal("expected AdvanceRNG error on external-Rng network")
+	}
+}
+
+// TestRoundReplayAfterRestore is the simulator half of the byte-identical
+// replay invariant: run k rounds, record the draw count, run the rest;
+// then rebuild from config, fast-forward, and re-run the remaining rounds
+// — every RoundResult must serialize identically.
+func TestRoundReplayAfterRestore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full protocol rounds")
+	}
+	for _, seed := range []int64{1, 7} {
+		nw, err := NewNetwork(testConfigSnapshot(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		const k, n = 1, 3
+		for i := 0; i < k; i++ {
+			if _, err := nw.RunRound(ctx); err != nil {
+				t.Fatalf("seed %d round %d: %v", seed, i, err)
+			}
+		}
+		draws, ok := nw.RNGDraws()
+		if !ok {
+			t.Fatal("not checkpointable")
+		}
+		var want []string
+		for i := k; i < n; i++ {
+			res, err := nw.RunRound(ctx)
+			if err != nil {
+				t.Fatalf("seed %d round %d: %v", seed, i, err)
+			}
+			want = append(want, roundFingerprint(t, res))
+		}
+
+		re, err := NewNetwork(testConfigSnapshot(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := re.AdvanceRNG(ctx, draws); err != nil {
+			t.Fatal(err)
+		}
+		for i := k; i < n; i++ {
+			res, err := re.RunRound(ctx)
+			if err != nil {
+				t.Fatalf("seed %d restored round %d: %v", seed, i, err)
+			}
+			if got := roundFingerprint(t, res); got != want[i-k] {
+				t.Errorf("seed %d round %d: restored replay differs from uninterrupted run", seed, i)
+			}
+		}
+	}
+}
+
+// roundFingerprint renders every numeric field of a RoundResult as exact
+// IEEE-754 bit patterns (the matrices carry NaN for missing links, which
+// JSON cannot; bit equality is also stricter than any decimal format).
+func roundFingerprint(t *testing.T, res *RoundResult) string {
+	t.Helper()
+	var sb strings.Builder
+	mat := func(name string, m [][]float64) {
+		fmt.Fprintf(&sb, "%s:", name)
+		for _, row := range m {
+			for _, v := range row {
+				fmt.Fprintf(&sb, " %x", math.Float64bits(v))
+			}
+			sb.WriteByte(';')
+		}
+		sb.WriteByte('\n')
+	}
+	vec := func(name string, v []float64) {
+		fmt.Fprintf(&sb, "%s:", name)
+		for _, x := range v {
+			fmt.Fprintf(&sb, " %x", math.Float64bits(x))
+		}
+		sb.WriteByte('\n')
+	}
+	mat("D", res.D)
+	mat("W", res.W)
+	mat("TrueD", res.TrueD)
+	vec("Depths", res.Depths)
+	vec("TrueDepths", res.TrueDepths)
+	fmt.Fprintf(&sb, "MicSigns: %v\nSilent: %v\nLatency: %x\n",
+		res.MicSigns, res.Silent, math.Float64bits(res.Latency))
+	return sb.String()
+}
+
+// testConfigSnapshot is a small 3-device pool scenario for snapshot tests.
+func testConfigSnapshot(seed int64) Config {
+	return Config{
+		Env: channel.Pool(),
+		Devices: []DeviceSpec{
+			{Model: device.GalaxyS9(), Pos: geom.Vec3{X: 0, Y: 0, Z: 1.5}},
+			{Model: device.GalaxyS9(), Pos: geom.Vec3{X: 5, Y: 1, Z: 2.0}},
+			{Model: device.GalaxyS9(), Pos: geom.Vec3{X: 8, Y: -3, Z: 1.0}},
+		},
+		Seed: seed,
+	}
+}

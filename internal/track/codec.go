@@ -1,0 +1,138 @@
+// Versioned binary codec for filter state. A restored tracker must
+// continue bit-identically — confidence widths feed the service's
+// replayed round payloads — so every float travels as its exact IEEE-754
+// bit pattern (math.Float64bits), never through a decimal round trip.
+package track
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// trackerCodecVersion tags the Tracker wire format. Bump on any layout
+// change; UnmarshalBinary rejects unknown versions rather than guessing.
+const trackerCodecVersion = 1
+
+// trackerBlobLen is the fixed encoded size of one Tracker: version byte,
+// flags byte, 3 config + 5+5 axis + depth + lastT floats.
+const trackerBlobLen = 2 + 8*15
+
+func putF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func getF64(b []byte) (float64, []byte) {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), b[8:]
+}
+
+// MarshalBinary encodes the complete filter state (config, both axes,
+// depth, init flag, last fix time).
+func (tr *Tracker) MarshalBinary() ([]byte, error) {
+	b := make([]byte, 0, trackerBlobLen)
+	b = append(b, trackerCodecVersion)
+	var flags byte
+	if tr.initialized {
+		flags |= 1
+	}
+	b = append(b, flags)
+	for _, v := range [...]float64{
+		tr.cfg.ProcessAccel, tr.cfg.FixStd, tr.cfg.MaxSpeed,
+		tr.ax.x, tr.ax.v, tr.ax.pxx, tr.ax.pxv, tr.ax.pvv,
+		tr.ay.x, tr.ay.v, tr.ay.pxx, tr.ay.pxv, tr.ay.pvv,
+		tr.depth, tr.lastT,
+	} {
+		b = putF64(b, v)
+	}
+	return b, nil
+}
+
+// UnmarshalBinary replaces the tracker's state with the encoded one.
+func (tr *Tracker) UnmarshalBinary(data []byte) error {
+	if len(data) != trackerBlobLen {
+		return fmt.Errorf("track: tracker blob is %d bytes, want %d", len(data), trackerBlobLen)
+	}
+	if data[0] != trackerCodecVersion {
+		return fmt.Errorf("track: unknown tracker codec version %d", data[0])
+	}
+	tr.initialized = data[1]&1 != 0
+	b := data[2:]
+	dst := [...]*float64{
+		&tr.cfg.ProcessAccel, &tr.cfg.FixStd, &tr.cfg.MaxSpeed,
+		&tr.ax.x, &tr.ax.v, &tr.ax.pxx, &tr.ax.pxv, &tr.ax.pvv,
+		&tr.ay.x, &tr.ay.v, &tr.ay.pxx, &tr.ay.pxv, &tr.ay.pvv,
+		&tr.depth, &tr.lastT,
+	}
+	for _, p := range dst {
+		*p, b = getF64(b)
+	}
+	return nil
+}
+
+// groupCodecVersion tags the GroupTracker wire format.
+const groupCodecVersion = 1
+
+// MarshalBinary encodes the group config plus every per-device filter,
+// in ascending device order so equal states encode to equal bytes.
+func (g *GroupTracker) MarshalBinary() ([]byte, error) {
+	ids := make([]int, 0, len(g.trackers))
+	for id := range g.trackers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	b := make([]byte, 0, 1+8*3+4+len(ids)*(4+trackerBlobLen))
+	b = append(b, groupCodecVersion)
+	b = putF64(b, g.cfg.ProcessAccel)
+	b = putF64(b, g.cfg.FixStd)
+	b = putF64(b, g.cfg.MaxSpeed)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(ids)))
+	for _, id := range ids {
+		blob, err := g.trackers[id].MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		b = binary.LittleEndian.AppendUint32(b, uint32(id))
+		b = append(b, blob...)
+	}
+	return b, nil
+}
+
+// UnmarshalBinary replaces the group's config and filter set.
+func (g *GroupTracker) UnmarshalBinary(data []byte) error {
+	const head = 1 + 8*3 + 4
+	if len(data) < head {
+		return fmt.Errorf("track: group blob truncated at %d bytes", len(data))
+	}
+	if data[0] != groupCodecVersion {
+		return fmt.Errorf("track: unknown group codec version %d", data[0])
+	}
+	b := data[1:]
+	var cfg FilterConfig
+	cfg.ProcessAccel, b = getF64(b)
+	cfg.FixStd, b = getF64(b)
+	cfg.MaxSpeed, b = getF64(b)
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if len(b) != int(n)*(4+trackerBlobLen) {
+		return fmt.Errorf("track: group blob holds %d bytes for %d trackers, want %d",
+			len(b), n, int(n)*(4+trackerBlobLen))
+	}
+	trackers := make(map[int]*Tracker, n)
+	for i := uint32(0); i < n; i++ {
+		id := int(int32(binary.LittleEndian.Uint32(b)))
+		b = b[4:]
+		tr := &Tracker{}
+		if err := tr.UnmarshalBinary(b[:trackerBlobLen]); err != nil {
+			return fmt.Errorf("track: device %d: %w", id, err)
+		}
+		if _, dup := trackers[id]; dup {
+			return fmt.Errorf("track: device %d appears twice in group blob", id)
+		}
+		trackers[id] = tr
+		b = b[trackerBlobLen:]
+	}
+	g.cfg = cfg
+	g.trackers = trackers
+	return nil
+}
