@@ -47,8 +47,15 @@ type Config struct {
 // SplitMix64 finalizer over seed + trialIndex. It is exported so callers
 // can replay a single trial outside the engine, or derive decorrelated
 // secondary streams (e.g. seed^salt) for post-processing randomness.
+//
+// The trial index is widened with explicit 64-bit arithmetic: shard
+// fan-out replays trials on whatever host picked up the shard, so the
+// seed stream must not depend on the platform word size (uint is 32 bits
+// on 32-bit hosts, which would wrap trial+1 differently). Values are
+// unchanged on 64-bit hosts, so pre-existing goldens still hold; see the
+// pinned vector in TestTrialSeedPinned.
 func TrialSeed(seed int64, trial int) int64 {
-	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(uint(trial)+1)
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(int64(trial))+1)
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	z ^= z >> 31

@@ -101,12 +101,24 @@ func Stream[T any](ctx context.Context, cfg Config, n int, fn func(trial int, rn
 // On cancellation the sink has received a (possibly empty) prefix of the
 // trial sequence and StreamOrdered returns ctx.Err().
 func StreamOrdered[T any](ctx context.Context, cfg Config, n int, fn func(trial int, rng *rand.Rand) T, sink func(trial int, v T)) error {
+	return StreamOrderedRange(ctx, cfg, 0, n, fn, sink)
+}
+
+// StreamOrderedRange is StreamOrdered over the half-open trial span
+// [lo, hi). Trial indices are global: trial t still computes with
+// Rand(cfg.Seed, t), so a span's results are bit-identical to the same
+// trials of a full run — the primitive behind shard fan-out (each shard
+// runs its contiguous span of the global trial sequence) and
+// checkpoint/resume (restart from the first undelivered trial). Delivery
+// is in trial order lo, lo+1, …, hi-1.
+func StreamOrderedRange[T any](ctx context.Context, cfg Config, lo, hi int, fn func(trial int, rng *rand.Rand) T, sink func(trial int, v T)) error {
+	n := hi - lo
 	if n <= 0 {
 		return ctx.Err()
 	}
 	workers := workerCount(cfg, n)
 	if workers == 1 {
-		for t := 0; t < n; t++ {
+		for t := lo; t < hi; t++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -141,8 +153,8 @@ func StreamOrdered[T any](ctx context.Context, cfg Config, n int, fn func(trial 
 					return
 				case <-credits:
 				}
-				t := int(next.Add(1) - 1)
-				if t >= n {
+				t := lo + int(next.Add(1)-1)
+				if t >= hi {
 					return
 				}
 				ch <- item{t: t, v: fn(t, Rand(cfg.Seed, t))}
@@ -156,11 +168,11 @@ func StreamOrdered[T any](ctx context.Context, cfg Config, n int, fn func(trial 
 	// Reorder ring: slot t%window holds trial t until its turn.
 	buf := make([]T, window)
 	filled := make([]bool, window)
-	deliver := 0
+	deliver := lo
 	for it := range ch {
 		buf[it.t%window] = it.v
 		filled[it.t%window] = true
-		for deliver < n && filled[deliver%window] {
+		for deliver < hi && filled[deliver%window] {
 			sink(deliver, buf[deliver%window])
 			filled[deliver%window] = false
 			var zero T
@@ -180,4 +192,11 @@ func StreamOrdered[T any](ctx context.Context, cfg Config, n int, fn func(trial 
 // to sink in trial order.
 func Each[T any](cfg Config, n int, fn func(trial int, rng *rand.Rand) T, sink func(trial int, v T)) {
 	_ = StreamOrdered(context.Background(), cfg, n, fn, sink)
+}
+
+// EachRange is StreamOrderedRange minus the error plumbing: trials
+// [lo, hi) on a background context, delivered to sink in trial order with
+// global trial indices.
+func EachRange[T any](cfg Config, lo, hi int, fn func(trial int, rng *rand.Rand) T, sink func(trial int, v T)) {
+	_ = StreamOrderedRange(context.Background(), cfg, lo, hi, fn, sink)
 }

@@ -1,14 +1,12 @@
 package experiments
 
 import (
-	"context"
 	"math"
 	"math/rand"
 
 	"uwpos/internal/channel"
 	"uwpos/internal/core"
 	"uwpos/internal/dsp"
-	"uwpos/internal/engine"
 	"uwpos/internal/geom"
 	"uwpos/internal/mds"
 	"uwpos/internal/ranging"
@@ -20,24 +18,23 @@ import (
 // The ablations quantify the design choices DESIGN.md calls out. They are
 // not paper figures; they justify implementation decisions with data.
 
-// AblationBandWindow compares the channel-estimator band taper: Hann
-// (default, −31 dB sidelobes, wider main lobe) against rectangular
-// (−13 dB sidelobes that the λ=0.2 direct-path test can mistake for early
-// arrivals).
-func AblationBandWindow(opt Options) (map[string][]float64, *stats.Table) {
+func accAblationBandWindow(opt Options, p *Partial, pre string) {
 	trials := opt.samples(40)
-	p := sig.DefaultParams()
+	pr := sig.DefaultParams()
 	env := channel.Dock()
 	const fs = 44100.0
-	sks := map[string]*stats.Sketch{"hann": stats.NewSketch(), "rectangular": stats.NewSketch()}
+	sks := map[string]*stats.Sketch{
+		"hann":        p.Sketch(pre + "ablation-bandwindow/hann"),
+		"rectangular": p.Sketch(pre + "ablation-bandwindow/rectangular"),
+	}
 
-	pre := p.Preamble()
-	det := ranging.NewDetector(p, ranging.DetectorConfig{}) // stateless, shared
+	wave := pr.Preamble()
+	det := ranging.NewDetector(pr, ranging.DetectorConfig{}) // stateless, shared
 	type trialErrs struct {
 		hann, rect float64
 		okH, okR   bool
 	}
-	engine.Each(opt.engine(saltAblBandWindow), trials, func(_ int, rng *rand.Rand) trialErrs {
+	stage(opt, p, pre+"ablation-bandwindow", saltAblBandWindow, trials, func(_ int, rng *rand.Rand) trialErrs {
 		// One shared channel realization per trial; both tapers score it.
 		var te trialErrs
 		sep := 15 + 10*rng.Float64()
@@ -47,7 +44,7 @@ func AblationBandWindow(opt Options) (map[string][]float64, *stats.Table) {
 		stream := make([]float64, 40000)
 		env.AddNoise(stream, fs, rng)
 		const at = 9000
-		channel.Render(stream, pre, taps, at, fs)
+		channel.Render(stream, wave, taps, at, fs)
 		dets := det.Detect(stream)
 		if len(dets) != 1 {
 			return te
@@ -58,7 +55,7 @@ func AblationBandWindow(opt Options) (map[string][]float64, *stats.Table) {
 			name string
 			w    dsp.Window
 		}{{"hann", dsp.Hann}, {"rectangular", dsp.Rectangular}} {
-			ce := ranging.NewChannelEstimator(p)
+			ce := ranging.NewChannelEstimator(pr)
 			ce.SetBandWindow(win.w)
 			h, err := ce.Estimate(stream, dets[0].CoarseIndex)
 			if err != nil {
@@ -86,6 +83,9 @@ func AblationBandWindow(opt Options) (map[string][]float64, *stats.Table) {
 			sks["rectangular"].Add(te.rect)
 		}
 	})
+}
+
+func renderAblationBandWindow(_ Options, p *Partial, pre string) (map[string][]float64, *stats.Table) {
 	table := &stats.Table{
 		ID:     "ablation-bandwindow",
 		Title:  "channel-estimate band taper: Hann vs rectangular",
@@ -94,34 +94,43 @@ func AblationBandWindow(opt Options) (map[string][]float64, *stats.Table) {
 	}
 	out := make(map[string][]float64)
 	for _, k := range []string{"hann", "rectangular"} {
-		out[k] = sks[k].Values()
-		qs := sks[k].Quantiles(50, 95)
+		sk := p.Sketch(pre + "ablation-bandwindow/" + k)
+		out[k] = sk.Values()
+		qs := sk.Quantiles(50, 95)
 		table.Rows = append(table.Rows, []string{
-			k, stats.F(qs[0]), stats.F(qs[1]), stats.F(float64(sks[k].Count())),
+			k, stats.F(qs[0]), stats.F(qs[1]), stats.F(float64(sk.Count())),
 		})
 	}
 	return out, table
 }
 
-// AblationPrefilter measures the in-band prefilter's effect on detection
-// at marginal SNR.
-func AblationPrefilter(opt Options) (map[string]float64, *stats.Table) {
+// AblationBandWindow compares the channel-estimator band taper: Hann
+// (default, −31 dB sidelobes, wider main lobe) against rectangular
+// (−13 dB sidelobes that the λ=0.2 direct-path test can mistake for early
+// arrivals).
+func AblationBandWindow(opt Options) (map[string][]float64, *stats.Table) {
+	p := NewPartial()
+	accAblationBandWindow(opt, p, "")
+	return renderAblationBandWindow(opt, p, "")
+}
+
+func accAblationPrefilter(opt Options, p *Partial, pre string) {
 	trials := opt.samples(60)
-	p := sig.DefaultParams()
-	pre := p.Preamble()
-	detOn := ranging.NewDetector(p, ranging.DetectorConfig{})
-	detOff := ranging.NewDetector(p, ranging.DetectorConfig{DisablePrefilter: true})
+	pr := sig.DefaultParams()
+	wave := pr.Preamble()
+	detOn := ranging.NewDetector(pr, ranging.DetectorConfig{})
+	detOff := ranging.NewDetector(pr, ranging.DetectorConfig{DisablePrefilter: true})
 	// Paired trials: both variants score the same noisy stream. Hit
-	// counting is commutative, so the unordered stream suffices and the
-	// totals are still worker-count invariant.
+	// counting is commutative, so totals are worker-count invariant; the
+	// ordered stage additionally gives resume a contiguous prefix.
 	type hit struct{ on, off bool }
-	var onN, offN int
-	_ = engine.Stream(context.Background(), opt.engine(saltAblPrefilter), trials, func(_ int, rng *rand.Rand) hit {
+	key := pre + "ablation-prefilter"
+	stage(opt, p, key, saltAblPrefilter, trials, func(_ int, rng *rand.Rand) hit {
 		stream := make([]float64, 40000)
 		for i := range stream {
 			stream[i] = 0.14 * rng.NormFloat64() // ≈−6 dB wideband
 		}
-		for i, v := range pre {
+		for i, v := range wave {
 			stream[12000+i] += 0.25 * v
 		}
 		return hit{
@@ -130,15 +139,20 @@ func AblationPrefilter(opt Options) (map[string]float64, *stats.Table) {
 		}
 	}, func(_ int, h hit) {
 		if h.on {
-			onN++
+			p.AddCounter(key+"/on", 1)
 		}
 		if h.off {
-			offN++
+			p.AddCounter(key+"/off", 1)
 		}
 	})
+}
+
+func renderAblationPrefilter(opt Options, p *Partial, pre string) (map[string]float64, *stats.Table) {
+	trials := opt.samples(60)
+	key := pre + "ablation-prefilter"
 	rates := map[string]float64{
-		"with prefilter":    float64(onN) / float64(trials),
-		"without prefilter": float64(offN) / float64(trials),
+		"with prefilter":    float64(p.Counter(key+"/on")) / float64(trials),
+		"without prefilter": float64(p.Counter(key+"/off")) / float64(trials),
 	}
 	table := &stats.Table{
 		ID:     "ablation-prefilter",
@@ -153,17 +167,26 @@ func AblationPrefilter(opt Options) (map[string]float64, *stats.Table) {
 	return rates, table
 }
 
-// AblationRestarts measures SMACOF restart value on outlier-bearing
-// problems (escaping deceptive local minima).
-func AblationRestarts(opt Options) (map[string][]float64, *stats.Table) {
+// AblationPrefilter measures the in-band prefilter's effect on detection
+// at marginal SNR.
+func AblationPrefilter(opt Options) (map[string]float64, *stats.Table) {
+	p := NewPartial()
+	accAblationPrefilter(opt, p, "")
+	return renderAblationPrefilter(opt, p, "")
+}
+
+func accAblationRestarts(opt Options, p *Partial, pre string) {
 	trials := opt.samples(80)
-	sks := map[string]*stats.Sketch{"restarts=0": stats.NewSketch(), "restarts=2": stats.NewSketch()}
+	sks := map[string]*stats.Sketch{
+		"restarts=0": p.Sketch(pre + "ablation-restarts/restarts=0"),
+		"restarts=2": p.Sketch(pre + "ablation-restarts/restarts=2"),
+	}
 	type stresses struct {
 		r0, r2 float64
 		ok0    bool
 		ok2    bool
 	}
-	engine.Each(opt.engine(saltAblRestarts), trials, func(_ int, rng *rand.Rand) stresses {
+	stage(opt, p, pre+"ablation-restarts", saltAblRestarts, trials, func(_ int, rng *rand.Rand) stresses {
 		// Random 6-node geometry with one corrupted link.
 		var st stresses
 		pts := make([]geom.Vec2, 6)
@@ -219,6 +242,9 @@ func AblationRestarts(opt Options) (map[string][]float64, *stats.Table) {
 			opt.observe(st.r2)
 		}
 	})
+}
+
+func renderAblationRestarts(_ Options, p *Partial, pre string) (map[string][]float64, *stats.Table) {
 	table := &stats.Table{
 		ID:     "ablation-restarts",
 		Title:  "SMACOF restarts on outlier-bearing problems (normalized stress found)",
@@ -227,10 +253,68 @@ func AblationRestarts(opt Options) (map[string][]float64, *stats.Table) {
 	}
 	out := make(map[string][]float64)
 	for _, k := range []string{"restarts=0", "restarts=2"} {
-		out[k] = sks[k].Values()
-		qs := sks[k].Quantiles(50, 5)
+		sk := p.Sketch(pre + "ablation-restarts/" + k)
+		out[k] = sk.Values()
+		qs := sk.Quantiles(50, 5)
 		table.Rows = append(table.Rows, []string{
 			k, stats.F(qs[0]), stats.F(qs[1]),
+		})
+	}
+	return out, table
+}
+
+// AblationRestarts measures SMACOF restart value on outlier-bearing
+// problems (escaping deceptive local minima).
+func AblationRestarts(opt Options) (map[string][]float64, *stats.Table) {
+	p := NewPartial()
+	accAblationRestarts(opt, p, "")
+	return renderAblationRestarts(opt, p, "")
+}
+
+var ablRBVariants = []struct {
+	name     string
+	lossless bool
+}{{"full comm", false}, {"lossless", true}}
+
+func accAblationReportBack(opt Options, p *Partial, pre string) {
+	rounds := opt.samples(8)
+	env := channel.Dock()
+	for vi, variant := range ablRBVariants {
+		variant := variant
+		sk := p.Sketch(pre + "ablation-reportback/" + variant.name)
+		mk := func(int, *rand.Rand) sim.Config {
+			cfg := testbed(env, 0)
+			cfg.DisableReportBack = variant.lossless
+			return cfg
+		}
+		// Same salt for both variants: paired rounds isolate the comm cost.
+		// The stage keys must still be distinct — they track each variant's
+		// own delivered-trial cursor.
+		accStreamRounds(opt, p, pre+"ablation-reportback/"+ik(vi), saltAblReportBack, mk, rounds, func(rd roundData) {
+			if errs, _, ok := localizeErrors(rd, core.DefaultConfig()); ok {
+				for _, e := range errs {
+					sk.Add(e)
+					opt.observe(e)
+				}
+			}
+		})
+	}
+}
+
+func renderAblationReportBack(_ Options, p *Partial, pre string) (map[string][]float64, *stats.Table) {
+	table := &stats.Table{
+		ID:     "ablation-reportback",
+		Title:  "2D error: full report-back comm vs lossless timestamps",
+		Paper:  "(design cost of §2.4: 2-sample quantization + FSK + coding)",
+		Header: []string{"variant", "median (m)", "95th (m)", "n"},
+	}
+	out := make(map[string][]float64)
+	for _, variant := range ablRBVariants {
+		sk := p.Sketch(pre + "ablation-reportback/" + variant.name)
+		out[variant.name] = sk.Values()
+		qs := sk.Quantiles(50, 95)
+		table.Rows = append(table.Rows, []string{
+			variant.name, stats.F(qs[0]), stats.F(qs[1]), stats.F(float64(sk.Count())),
 		})
 	}
 	return out, table
@@ -240,41 +324,7 @@ func AblationRestarts(opt Options) (map[string][]float64, *stats.Table) {
 // + CRC) against lossless timestamp delivery, isolating what the
 // communication system costs in 2D accuracy.
 func AblationReportBack(opt Options) (map[string][]float64, *stats.Table) {
-	rounds := opt.samples(8)
-	env := channel.Dock()
-	sks := map[string]*stats.Sketch{"full comm": stats.NewSketch(), "lossless": stats.NewSketch()}
-	for _, variant := range []struct {
-		name     string
-		lossless bool
-	}{{"full comm", false}, {"lossless", true}} {
-		mk := func(int, *rand.Rand) sim.Config {
-			cfg := testbed(env, 0)
-			cfg.DisableReportBack = variant.lossless
-			return cfg
-		}
-		// Same salt for both variants: paired rounds isolate the comm cost.
-		streamRounds(opt, saltAblReportBack, mk, rounds, func(rd roundData) {
-			if errs, _, ok := localizeErrors(rd, core.DefaultConfig()); ok {
-				for _, e := range errs {
-					sks[variant.name].Add(e)
-					opt.observe(e)
-				}
-			}
-		})
-	}
-	table := &stats.Table{
-		ID:     "ablation-reportback",
-		Title:  "2D error: full report-back comm vs lossless timestamps",
-		Paper:  "(design cost of §2.4: 2-sample quantization + FSK + coding)",
-		Header: []string{"variant", "median (m)", "95th (m)", "n"},
-	}
-	out := make(map[string][]float64)
-	for _, k := range []string{"full comm", "lossless"} {
-		out[k] = sks[k].Values()
-		qs := sks[k].Quantiles(50, 95)
-		table.Rows = append(table.Rows, []string{
-			k, stats.F(qs[0]), stats.F(qs[1]), stats.F(float64(sks[k].Count())),
-		})
-	}
-	return out, table
+	p := NewPartial()
+	accAblationReportBack(opt, p, "")
+	return renderAblationReportBack(opt, p, "")
 }

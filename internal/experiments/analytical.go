@@ -39,6 +39,18 @@ type Options struct {
 	// ServiceAddr points the service load-test experiment at a live
 	// uwposd daemon ("host:port" or full URL). Empty = in-process server.
 	ServiceAddr string
+	// Shard restricts every trial stage to one contiguous slice of its
+	// global trial sequence (see ShardSpec). Trial indices stay global, so
+	// shard runs draw exactly the trials the full run would have; merging
+	// the resulting Partials in shard-index order reproduces the full run.
+	// The zero value runs everything.
+	Shard ShardSpec
+	// Checkpoint, when non-nil, is called once per delivered trial, after
+	// the trial's contributions are fully folded into the experiment's
+	// Partial — the safe point for serializing partial state (uwbench's
+	// periodic checkpoint writer hooks in here). Calls are serialized on
+	// the experiment's goroutine.
+	Checkpoint func()
 }
 
 // observe forwards one trial scalar to the Progress hook, if any.
@@ -223,36 +235,46 @@ func clamp(v, lo, hi float64) float64 {
 	return v
 }
 
-// meanOverTrials fans trials across the engine and averages online,
-// skipping failures — results stream into the sum as they complete, in
-// trial order (engine.Each), so the floating-point total matches the old
-// collect-then-sum loop bit for bit at any worker count. salt keeps each
-// sweep point on its own per-trial streams.
-func meanOverTrials(opt Options, salt int64, n, trials int, e1d, eh, eTheta float64, drops int) float64 {
-	var sum float64
-	var ok int
-	engine.Each(opt.engine(salt), trials, func(_ int, rng *rand.Rand) float64 {
+// accMeanOverTrials fans trials across the engine, streaming successful
+// results (in trial order) into a named sketch; failures are skipped.
+// The sketch's exact-mode mean is the same left-fold sum over the same
+// divisor the old online-averaging loop computed, so tables are
+// bit-identical to the pre-shard code path at any worker count. salt
+// keeps each sweep point on its own per-trial streams.
+func accMeanOverTrials(opt Options, p *Partial, key string, salt int64, n, trials int, e1d, eh, eTheta float64, drops int) {
+	sk := p.Sketch(key)
+	stage(opt, p, key, salt, trials, func(_ int, rng *rand.Rand) float64 {
 		truth := analyticalScenario(rng, n)
 		return analyticalTrial(rng, truth, e1d, eh, eTheta, drops)
 	}, func(_ int, v float64) {
 		if !math.IsNaN(v) {
-			sum += v
-			ok++
+			sk.Add(v)
 			opt.observe(v)
 		}
 	})
-	if ok == 0 {
-		return math.NaN()
-	}
-	return sum / float64(ok)
 }
 
-// Fig06a sweeps the 1D ranging error (Fig. 6a): mean 2D error vs ε_1d,
-// N=6, ε_h=0.4 m, ε_θ=0.
-func Fig06a(opt Options) ([]float64, *stats.Table) {
+// fig06Points reads the per-sweep-point means of one §2.1.5 sweep back
+// out of a Partial.
+func fig06Points(p *Partial, pre, id string, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = p.Sketch(pre + id + "/" + ik(i)).Mean()
+	}
+	return out
+}
+
+func accFig06a(opt Options, p *Partial, pre string) {
 	trials := opt.samples(200)
 	sweep := []float64{0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0}
-	out := make([]float64, len(sweep))
+	for i, e := range sweep {
+		accMeanOverTrials(opt, p, pre+"fig06a/"+ik(i), saltFig06a+int64(i), 6, trials, e, 0.4, 0, 0)
+	}
+}
+
+func renderFig06a(_ Options, p *Partial, pre string) ([]float64, *stats.Table) {
+	sweep := []float64{0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0}
+	out := fig06Points(p, pre, "fig06a", len(sweep))
 	table := &stats.Table{
 		ID:     "fig06a",
 		Title:  "mean 2D error vs 1D ranging error (N=6, εh=0.4 m)",
@@ -260,17 +282,29 @@ func Fig06a(opt Options) ([]float64, *stats.Table) {
 		Header: []string{"ε1d (m)", "mean 2D err (m)"},
 	}
 	for i, e := range sweep {
-		out[i] = meanOverTrials(opt, saltFig06a+int64(i), 6, trials, e, 0.4, 0, 0)
 		table.Rows = append(table.Rows, []string{stats.F(e), stats.F(out[i])})
 	}
 	return out, table
 }
 
-// Fig06b sweeps the number of users (Fig. 6b): ε1d=0.8, εh=0.4.
-func Fig06b(opt Options) ([]float64, *stats.Table) {
+// Fig06a sweeps the 1D ranging error (Fig. 6a): mean 2D error vs ε_1d,
+// N=6, ε_h=0.4 m, ε_θ=0.
+func Fig06a(opt Options) ([]float64, *stats.Table) {
+	p := NewPartial()
+	accFig06a(opt, p, "")
+	return renderFig06a(opt, p, "")
+}
+
+func accFig06b(opt Options, p *Partial, pre string) {
 	trials := opt.samples(200)
+	for i, n := range []int{3, 4, 5, 6, 7, 8} {
+		accMeanOverTrials(opt, p, pre+"fig06b/"+ik(i), saltFig06b+int64(i), n, trials, 0.8, 0.4, 0, 0)
+	}
+}
+
+func renderFig06b(_ Options, p *Partial, pre string) ([]float64, *stats.Table) {
 	ns := []int{3, 4, 5, 6, 7, 8}
-	out := make([]float64, len(ns))
+	out := fig06Points(p, pre, "fig06b", len(ns))
 	table := &stats.Table{
 		ID:     "fig06b",
 		Title:  "mean 2D error vs number of users (ε1d=0.8, εh=0.4)",
@@ -278,17 +312,29 @@ func Fig06b(opt Options) ([]float64, *stats.Table) {
 		Header: []string{"N", "mean 2D err (m)"},
 	}
 	for i, n := range ns {
-		out[i] = meanOverTrials(opt, saltFig06b+int64(i), n, trials, 0.8, 0.4, 0, 0)
 		table.Rows = append(table.Rows, []string{stats.F(float64(n)), stats.F(out[i])})
 	}
 	return out, table
 }
 
-// Fig06c sweeps the pointing error (Fig. 6c): N=6, ε1d=0.8, εh=0.4.
-func Fig06c(opt Options) ([]float64, *stats.Table) {
+// Fig06b sweeps the number of users (Fig. 6b): ε1d=0.8, εh=0.4.
+func Fig06b(opt Options) ([]float64, *stats.Table) {
+	p := NewPartial()
+	accFig06b(opt, p, "")
+	return renderFig06b(opt, p, "")
+}
+
+func accFig06c(opt Options, p *Partial, pre string) {
 	trials := opt.samples(200)
 	degs := []float64{0, 2.5, 5, 7.5, 10, 12.5, 15, 17.5, 20}
-	out := make([]float64, len(degs))
+	for i, dg := range degs {
+		accMeanOverTrials(opt, p, pre+"fig06c/"+ik(i), saltFig06c+int64(i), 6, trials, 0.8, 0.4, geom.Deg2Rad(dg), 0)
+	}
+}
+
+func renderFig06c(_ Options, p *Partial, pre string) ([]float64, *stats.Table) {
+	degs := []float64{0, 2.5, 5, 7.5, 10, 12.5, 15, 17.5, 20}
+	out := fig06Points(p, pre, "fig06c", len(degs))
 	table := &stats.Table{
 		ID:     "fig06c",
 		Title:  "mean 2D error vs orientation error (N=6, ε1d=0.8, εh=0.4)",
@@ -296,17 +342,28 @@ func Fig06c(opt Options) ([]float64, *stats.Table) {
 		Header: []string{"εθ (deg)", "mean 2D err (m)"},
 	}
 	for i, dg := range degs {
-		out[i] = meanOverTrials(opt, saltFig06c+int64(i), 6, trials, 0.8, 0.4, geom.Deg2Rad(dg), 0)
 		table.Rows = append(table.Rows, []string{stats.F(dg), stats.F(out[i])})
 	}
 	return out, table
 }
 
-// Fig06d sweeps dropped links (Fig. 6d): N=6, ε1d=0.8, εh=0.4, εθ=0.
-func Fig06d(opt Options) ([]float64, *stats.Table) {
+// Fig06c sweeps the pointing error (Fig. 6c): N=6, ε1d=0.8, εh=0.4.
+func Fig06c(opt Options) ([]float64, *stats.Table) {
+	p := NewPartial()
+	accFig06c(opt, p, "")
+	return renderFig06c(opt, p, "")
+}
+
+func accFig06d(opt Options, p *Partial, pre string) {
 	trials := opt.samples(200)
+	for i, k := range []int{0, 1, 2, 3} {
+		accMeanOverTrials(opt, p, pre+"fig06d/"+ik(i), saltFig06d+int64(i), 6, trials, 0.8, 0.4, 0, k)
+	}
+}
+
+func renderFig06d(_ Options, p *Partial, pre string) ([]float64, *stats.Table) {
 	drops := []int{0, 1, 2, 3}
-	out := make([]float64, len(drops))
+	out := fig06Points(p, pre, "fig06d", len(drops))
 	table := &stats.Table{
 		ID:     "fig06d",
 		Title:  "mean 2D error vs dropped links (N=6, ε1d=0.8, εh=0.4)",
@@ -314,8 +371,14 @@ func Fig06d(opt Options) ([]float64, *stats.Table) {
 		Header: []string{"dropped links", "mean 2D err (m)"},
 	}
 	for i, k := range drops {
-		out[i] = meanOverTrials(opt, saltFig06d+int64(i), 6, trials, 0.8, 0.4, 0, k)
 		table.Rows = append(table.Rows, []string{stats.F(float64(k)), stats.F(out[i])})
 	}
 	return out, table
+}
+
+// Fig06d sweeps dropped links (Fig. 6d): N=6, ε1d=0.8, εh=0.4, εθ=0.
+func Fig06d(opt Options) ([]float64, *stats.Table) {
+	p := NewPartial()
+	accFig06d(opt, p, "")
+	return renderFig06d(opt, p, "")
 }

@@ -5,18 +5,41 @@ import (
 	"math/rand"
 
 	"uwpos/internal/depth"
-	"uwpos/internal/engine"
 	"uwpos/internal/orient"
 	"uwpos/internal/power"
 	"uwpos/internal/stats"
 )
 
-// Fig13b measures depth-sensor accuracy: smartwatch dive gauge vs phone
-// barometer in a pouch, lowered 0–9 m in 1 m steps (30 s holds → repeated
-// reads), reporting measured-vs-reference and error statistics.
-func Fig13b(opt Options) (map[string][]float64, *stats.Table) {
+var fig13bSensors = []string{"watch", "phone"}
+
+func accFig13b(opt Options, p *Partial, pre string) {
 	rng := opt.rng()
 	reps := opt.samples(30)
+	// One sensor instance per run, as in the paper's single-device study:
+	// the bias draws come from the run rng — watch then phone, in that
+	// order, so every shard constructs bit-identical sensors. Per-reading
+	// noise then runs on engine trial streams (Sensor.Read only reads
+	// sensor fields, so one instance is safe across workers).
+	sensors := map[string]*depth.Sensor{
+		"watch": depth.NewWatchGauge(rng),
+		"phone": depth.NewPhoneBarometer(rng),
+	}
+	const refs = 10 // 0–9 m in 1 m steps
+	for ni, name := range fig13bSensors {
+		s := sensors[name]
+		key := pre + "fig13b/" + ik(ni)
+		sk := p.Sketch(key)
+		stage(opt, p, key, saltFig13b+int64(ni), refs*reps, func(t int, rng *rand.Rand) float64 {
+			ref := float64(t / reps)
+			return math.Abs(s.Read(ref, rng) - ref)
+		}, func(_ int, e float64) {
+			sk.Add(e)
+			opt.observe(e)
+		})
+	}
+}
+
+func renderFig13b(_ Options, p *Partial, pre string) (map[string][]float64, *stats.Table) {
 	out := map[string][]float64{"watch": nil, "phone": nil}
 	table := &stats.Table{
 		ID:     "fig13b",
@@ -24,68 +47,78 @@ func Fig13b(opt Options) (map[string][]float64, *stats.Table) {
 		Paper:  "watch 0.15±0.11 m, phone 0.42±0.18 m across 0–9 m",
 		Header: []string{"sensor", "mean abs err (m)", "std (m)"},
 	}
-	// One sensor instance per run, as in the paper's single-device study:
-	// the bias draws come from the run rng; per-reading noise then runs on
-	// engine trial streams (Sensor.Read only reads sensor fields, so one
-	// instance is safe across workers).
-	sensors := map[string]*depth.Sensor{
-		"watch": depth.NewWatchGauge(rng),
-		"phone": depth.NewPhoneBarometer(rng),
-	}
-	const refs = 10 // 0–9 m in 1 m steps
-	for ni, name := range []string{"watch", "phone"} {
-		s := sensors[name]
-		sk := stats.NewSketch()
-		engine.Each(opt.engine(saltFig13b+int64(ni)), refs*reps, func(t int, rng *rand.Rand) float64 {
-			ref := float64(t / reps)
-			return math.Abs(s.Read(ref, rng) - ref)
-		}, func(_ int, e float64) {
-			sk.Add(e)
-			opt.observe(e)
-		})
+	for ni, name := range fig13bSensors {
+		sk := p.Sketch(pre + "fig13b/" + ik(ni))
 		out[name] = sk.Values()
 		table.Rows = append(table.Rows, []string{name, stats.F(sk.Mean()), stats.F(sk.Std())})
 	}
 	return out, table
 }
 
-// Fig16 reproduces the human leader-orientation study: two simulated
-// users aiming at 3–9 m, camera-checkerboard measurement chain.
-func Fig16(opt Options) (float64, *stats.Table) {
+// Fig13b measures depth-sensor accuracy: smartwatch dive gauge vs phone
+// barometer in a pouch, lowered 0–9 m in 1 m steps (30 s holds → repeated
+// reads), reporting measured-vs-reference and error statistics.
+func Fig13b(opt Options) (map[string][]float64, *stats.Table) {
+	p := NewPartial()
+	accFig13b(opt, p, "")
+	return renderFig13b(opt, p, "")
+}
+
+var fig16Dists = []float64{3, 5, 7, 9}
+
+func accFig16(opt Options, p *Partial, pre string) {
 	trials := opt.samples(200)
 	cam := orient.DefaultCamera()
+	users := []orient.HumanModel{orient.DefaultHuman(), {BaseErrDeg: 4.0, PerMeterDeg: 0.2, ArmTremorDeg: 1.4}}
+	// One engine trial per simulated user; the study's internal loop draws
+	// from that user's stream. The user's sketch holds perDist values then
+	// the grand mean, in that order.
+	key := pre + "fig16"
+	stage(opt, p, key, saltFig16, len(users), func(ui int, rng *rand.Rand) []float64 {
+		perDist, grand := orient.Study(cam, users[ui], fig16Dists, trials, rng)
+		return append(append([]float64(nil), perDist...), grand)
+	}, func(ui int, vals []float64) {
+		sk := p.Sketch(key + "/u" + ik(ui))
+		for _, v := range vals {
+			sk.Add(v)
+		}
+	})
+}
+
+func renderFig16(_ Options, p *Partial, pre string) (float64, *stats.Table) {
 	table := &stats.Table{
 		ID:     "fig16",
 		Title:  "leader pointing error vs distance (camera/checkerboard chain)",
 		Paper:  "average 5.0° across two users and 3–9 m distances",
 		Header: []string{"user", "3 m", "5 m", "7 m", "9 m", "mean (deg)"},
 	}
-	dists := []float64{3, 5, 7, 9}
-	users := []orient.HumanModel{orient.DefaultHuman(), {BaseErrDeg: 4.0, PerMeterDeg: 0.2, ArmTremorDeg: 1.4}}
-	type userStudy struct {
-		perDist []float64
-		grand   float64
-	}
-	// One engine trial per simulated user; the study's internal loop
-	// draws from that user's stream.
-	res := engine.Map(opt.engine(saltFig16), len(users), func(ui int, rng *rand.Rand) userStudy {
-		perDist, grand := orient.Study(cam, users[ui], dists, trials, rng)
-		return userStudy{perDist: perDist, grand: grand}
-	})
+	const nUsers = 2
 	var grandSum float64
-	for ui, us := range res {
+	for ui := 0; ui < nUsers; ui++ {
+		vals := p.Sketch(pre + "fig16" + "/u" + ik(ui)).Values()
 		row := []string{"user " + stats.F(float64(ui+1))}
-		for _, v := range us.perDist {
+		for _, v := range vals[:len(fig16Dists)] {
 			row = append(row, stats.F(v))
 		}
-		row = append(row, stats.F(us.grand))
+		grand := vals[len(fig16Dists)]
+		row = append(row, stats.F(grand))
 		table.Rows = append(table.Rows, row)
-		grandSum += us.grand
+		grandSum += grand
 	}
-	return grandSum / float64(len(users)), table
+	return grandSum / nUsers, table
 }
 
-// Battery reproduces the §3.1 power study.
+// Fig16 reproduces the human leader-orientation study: two simulated
+// users aiming at 3–9 m, camera-checkerboard measurement chain.
+func Fig16(opt Options) (float64, *stats.Table) {
+	p := NewPartial()
+	accFig16(opt, p, "")
+	return renderFig16(opt, p, "")
+}
+
+// Battery reproduces the §3.1 power study. It is pure arithmetic over the
+// power profiles — no trials, no randomness — so the shard registry runs
+// it as render-only.
 func Battery(_ Options) *stats.Table {
 	table := &stats.Table{
 		ID:     "battery",

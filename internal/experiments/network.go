@@ -40,23 +40,27 @@ type roundData struct {
 	round   *sim.RoundResult
 	bearing float64
 	cfg     sim.Config
-	trial   int // trial index within the collect, for derived randomness
+	trial   int // global trial index within the collect, for derived randomness
 }
 
-// streamRounds fans full acoustic rounds across the trial engine and hands
-// each surviving round to sink as soon as it completes, in trial order
-// (engine.Each), so per-round post-processing runs while later rounds are
-// still simulating and no round is retained past its sink call — the
-// memory profile is one round per worker instead of one per trial. mk
-// builds trial t's scenario, drawing any per-round variation from rng; the
-// round itself then consumes the same rng inside the network, per the
-// engine's seeding contract. Failed rounds are dropped.
-func streamRounds(opt Options, salt int64, mk func(trial int, rng *rand.Rand) sim.Config, rounds int, sink func(rd roundData)) {
+// accStreamRounds fans full acoustic rounds across the trial engine and
+// hands each surviving round to sink as soon as it completes, in trial
+// order, so per-round post-processing runs while later rounds are still
+// simulating and no round is retained past its sink call — the memory
+// profile is one round per worker instead of one per trial. The stage
+// machinery scopes the run to this shard's span of [0, rounds) and skips
+// the checkpointed prefix on resume; rd.trial carries the global trial
+// index either way, so derived randomness (engine.Rand(seed', rd.trial))
+// is shard- and worker-invariant. mk builds trial t's scenario, drawing
+// any per-round variation from rng; the round itself then consumes the
+// same rng inside the network, per the engine's seeding contract. Failed
+// rounds are dropped.
+func accStreamRounds(opt Options, p *Partial, key string, salt int64, mk func(trial int, rng *rand.Rand) sim.Config, rounds int, sink func(rd roundData)) {
 	type slot struct {
 		rd roundData
 		ok bool
 	}
-	engine.Each(opt.engine(salt), rounds, func(t int, rng *rand.Rand) slot {
+	stage(opt, p, key, salt, rounds, func(t int, rng *rand.Rand) slot {
 		cfg := mk(t, rng)
 		if cfg.Rng == nil {
 			cfg.Rng = rng
@@ -78,7 +82,7 @@ func streamRounds(opt Options, salt int64, mk func(trial int, rng *rand.Rand) si
 	})
 }
 
-// staticTestbed adapts a fixed scenario to streamRounds' factory shape.
+// staticTestbed adapts a fixed scenario to accStreamRounds' factory shape.
 func staticTestbed(env *channel.Environment) func(int, *rand.Rand) sim.Config {
 	return func(int, *rand.Rand) sim.Config { return testbed(env, 0) }
 }
@@ -98,26 +102,22 @@ func localizeErrors(rd roundData, cfg core.Config) (errs, linkDist []float64, ok
 	return errs, linkDist, true
 }
 
-// Fig18 runs the network testbeds at the dock and boathouse and reports
-// the 2D localization CDF broken down by link distance to the leader.
-func Fig18(opt Options) (map[string][]float64, *stats.Table) {
+var (
+	fig18Sites   = []string{"dock", "boathouse"}
+	fig18Buckets = []string{"all", "0-10m", "10-15m", "15-25m"}
+)
+
+func accFig18(opt Options, p *Partial, pre string) {
 	rounds := opt.samples(12)
-	out := make(map[string][]float64)
-	table := &stats.Table{
-		ID:     "fig18",
-		Title:  "2D localization error by link distance (5-device testbeds)",
-		Paper:  "dock median 0.9 m (95th 3.2 m); boathouse median 1.6 m (95th 4.9 m); error grows with distance",
-		Header: []string{"site", "bucket", "median (m)", "95th (m)", "n"},
-	}
-	for si, site := range []string{"dock", "boathouse"} {
+	for si, site := range fig18Sites {
 		env, _ := channel.ByName(site)
-		buckets := map[string]*stats.Sketch{
-			"0-10m": stats.NewSketch(), "10-15m": stats.NewSketch(),
-			"15-25m": stats.NewSketch(), "all": stats.NewSketch(),
+		buckets := make(map[string]*stats.Sketch, len(fig18Buckets))
+		for _, b := range fig18Buckets {
+			buckets[b] = p.Sketch(pre + "fig18/" + site + "/" + b)
 		}
 		// Rounds are scored as they complete; nothing but the bucket
 		// sketches survives a round's sink call.
-		streamRounds(opt, saltFig18+int64(si), staticTestbed(env), rounds, func(rd roundData) {
+		accStreamRounds(opt, p, pre+"fig18/"+ik(si), saltFig18+int64(si), staticTestbed(env), rounds, func(rd roundData) {
 			errs, dist, ok := localizeErrors(rd, core.DefaultConfig())
 			if !ok {
 				return
@@ -135,8 +135,20 @@ func Fig18(opt Options) (map[string][]float64, *stats.Table) {
 				}
 			}
 		})
-		for _, b := range []string{"all", "0-10m", "10-15m", "15-25m"} {
-			sk := buckets[b]
+	}
+}
+
+func renderFig18(_ Options, p *Partial, pre string) (map[string][]float64, *stats.Table) {
+	out := make(map[string][]float64)
+	table := &stats.Table{
+		ID:     "fig18",
+		Title:  "2D localization error by link distance (5-device testbeds)",
+		Paper:  "dock median 0.9 m (95th 3.2 m); boathouse median 1.6 m (95th 4.9 m); error grows with distance",
+		Header: []string{"site", "bucket", "median (m)", "95th (m)", "n"},
+	}
+	for _, site := range fig18Sites {
+		for _, b := range fig18Buckets {
+			sk := p.Sketch(pre + "fig18/" + site + "/" + b)
 			out[site+"/"+b] = sk.Values()
 			qs := sk.Quantiles(50, 95)
 			table.Rows = append(table.Rows, []string{
@@ -148,10 +160,15 @@ func Fig18(opt Options) (map[string][]float64, *stats.Table) {
 	return out, table
 }
 
-// Fig19a evaluates occluded-link outlier handling: the leader↔user-1 link
-// is blocked by a solid sheet (severe multipath → distance outlier); with
-// and without Algorithm 1.
-func Fig19a(opt Options) (map[string][]float64, *stats.Table) {
+// Fig18 runs the network testbeds at the dock and boathouse and reports
+// the 2D localization CDF broken down by link distance to the leader.
+func Fig18(opt Options) (map[string][]float64, *stats.Table) {
+	p := NewPartial()
+	accFig18(opt, p, "")
+	return renderFig18(opt, p, "")
+}
+
+func accFig19a(opt Options, p *Partial, pre string) {
 	rounds := opt.samples(12)
 	env := channel.Dock()
 	mk := func(int, *rand.Rand) sim.Config {
@@ -165,20 +182,24 @@ func Fig19a(opt Options) (map[string][]float64, *stats.Table) {
 	noOutlier := core.DefaultConfig()
 	noOutlier.MaxOutliers = 0
 	noOutlier.StressAccept = math.Inf(1) // never search
-	sks := map[string]*stats.Sketch{"with": stats.NewSketch(), "without": stats.NewSketch()}
-	streamRounds(opt, saltFig19a, mk, rounds, func(rd roundData) {
+	with := p.Sketch(pre + "fig19a/with")
+	without := p.Sketch(pre + "fig19a/without")
+	accStreamRounds(opt, p, pre+"fig19a", saltFig19a, mk, rounds, func(rd roundData) {
 		if errs, _, ok := localizeErrors(rd, core.DefaultConfig()); ok {
 			for _, e := range errs {
-				sks["with"].Add(e)
+				with.Add(e)
 				opt.observe(e)
 			}
 		}
 		if errs, _, ok := localizeErrors(rd, noOutlier); ok {
 			for _, e := range errs {
-				sks["without"].Add(e)
+				without.Add(e)
 			}
 		}
 	})
+}
+
+func renderFig19a(_ Options, p *Partial, pre string) (map[string][]float64, *stats.Table) {
 	table := &stats.Table{
 		ID:     "fig19a",
 		Title:  "occluded leader↔user-1 link: with vs without outlier detection",
@@ -187,8 +208,9 @@ func Fig19a(opt Options) (map[string][]float64, *stats.Table) {
 	}
 	out := make(map[string][]float64)
 	for _, k := range []string{"with", "without"} {
-		out[k] = sks[k].Values()
-		qs := sks[k].Quantiles(50, 95, 99)
+		sk := p.Sketch(pre + "fig19a/" + k)
+		out[k] = sk.Values()
+		qs := sk.Quantiles(50, 95, 99)
 		table.Rows = append(table.Rows, []string{
 			k + " outlier detection", stats.F(qs[0]), stats.F(qs[1]), stats.F(qs[2]),
 		})
@@ -196,19 +218,28 @@ func Fig19a(opt Options) (map[string][]float64, *stats.Table) {
 	return out, table
 }
 
-// Fig19b post-processes clean dock rounds: full network vs one random
-// link removed vs one random node removed (the paper's methodology —
-// "use the data collected from the dock location").
-func Fig19b(opt Options) (map[string][]float64, *stats.Table) {
+// Fig19a evaluates occluded-link outlier handling: the leader↔user-1 link
+// is blocked by a solid sheet (severe multipath → distance outlier); with
+// and without Algorithm 1.
+func Fig19a(opt Options) (map[string][]float64, *stats.Table) {
+	p := NewPartial()
+	accFig19a(opt, p, "")
+	return renderFig19a(opt, p, "")
+}
+
+var fig19bVariants = []string{"full", "link-drop", "node-drop"}
+
+func accFig19b(opt Options, p *Partial, pre string) {
 	rounds := opt.samples(12)
 	env := channel.Dock()
-	sks := map[string]*stats.Sketch{
-		"full": stats.NewSketch(), "link-drop": stats.NewSketch(), "node-drop": stats.NewSketch(),
+	sks := make(map[string]*stats.Sketch, len(fig19bVariants))
+	for _, k := range fig19bVariants {
+		sks[k] = p.Sketch(pre + "fig19b/" + k)
 	}
-	streamRounds(opt, saltFig19b, staticTestbed(env), rounds, func(rd roundData) {
+	accStreamRounds(opt, p, pre+"fig19b", saltFig19b, staticTestbed(env), rounds, func(rd roundData) {
 		// Post-processing randomness (which link/node to drop) runs on a
-		// stream derived from the round's trial index so it is stable
-		// under any worker count.
+		// stream derived from the round's global trial index so it is
+		// stable under any worker count — and any shard count.
 		rng := engine.Rand(opt.seed()^0x19b, rd.trial)
 		if errs, _, ok := localizeErrors(rd, core.DefaultConfig()); ok {
 			for _, e := range errs {
@@ -244,6 +275,9 @@ func Fig19b(opt Options) (map[string][]float64, *stats.Table) {
 			}
 		}
 	})
+}
+
+func renderFig19b(_ Options, p *Partial, pre string) (map[string][]float64, *stats.Table) {
 	table := &stats.Table{
 		ID:     "fig19b",
 		Title:  "full network vs random link drop vs random node drop (dock)",
@@ -251,12 +285,22 @@ func Fig19b(opt Options) (map[string][]float64, *stats.Table) {
 		Header: []string{"variant", "median (m)", "95th (m)"},
 	}
 	out := make(map[string][]float64)
-	for _, k := range []string{"full", "link-drop", "node-drop"} {
-		out[k] = sks[k].Values()
-		qs := sks[k].Quantiles(50, 95)
+	for _, k := range fig19bVariants {
+		sk := p.Sketch(pre + "fig19b/" + k)
+		out[k] = sk.Values()
+		qs := sk.Quantiles(50, 95)
 		table.Rows = append(table.Rows, []string{k, stats.F(qs[0]), stats.F(qs[1])})
 	}
 	return out, table
+}
+
+// Fig19b post-processes clean dock rounds: full network vs one random
+// link removed vs one random node removed (the paper's methodology —
+// "use the data collected from the dock location").
+func Fig19b(opt Options) (map[string][]float64, *stats.Table) {
+	p := NewPartial()
+	accFig19b(opt, p, "")
+	return renderFig19b(opt, p, "")
 }
 
 func cloneMatrix(m [][]float64) [][]float64 {
@@ -326,13 +370,16 @@ func relocalizeWithoutNode(rd roundData, drop int) ([]float64, bool) {
 	return errs, true
 }
 
-// FourDevices compares 4- vs 5-device networks by removing one non-leader,
-// non-pointed node from dock rounds (§3.2 "4-device networks").
-func FourDevices(opt Options) (map[string][]float64, *stats.Table) {
+var fourDevVariants = []string{"5-device", "4-device"}
+
+func accFourDevices(opt Options, p *Partial, pre string) {
 	rounds := opt.samples(10)
 	env := channel.Dock()
-	sks := map[string]*stats.Sketch{"5-device": stats.NewSketch(), "4-device": stats.NewSketch()}
-	streamRounds(opt, saltFourDevices, staticTestbed(env), rounds, func(rd roundData) {
+	sks := make(map[string]*stats.Sketch, len(fourDevVariants))
+	for _, k := range fourDevVariants {
+		sks[k] = p.Sketch(pre + "fig19b-4dev/" + k)
+	}
+	accStreamRounds(opt, p, pre+"fig19b-4dev", saltFourDevices, staticTestbed(env), rounds, func(rd roundData) {
 		rng := engine.Rand(opt.seed()^0x4de, rd.trial)
 		if errs, _, ok := localizeErrors(rd, core.DefaultConfig()); ok {
 			for _, e := range errs {
@@ -347,6 +394,9 @@ func FourDevices(opt Options) (map[string][]float64, *stats.Table) {
 			}
 		}
 	})
+}
+
+func renderFourDevices(_ Options, p *Partial, pre string) (map[string][]float64, *stats.Table) {
 	table := &stats.Table{
 		ID:     "fig19b-4dev",
 		Title:  "5-device vs 4-device networks (dock)",
@@ -354,28 +404,28 @@ func FourDevices(opt Options) (map[string][]float64, *stats.Table) {
 		Header: []string{"network", "median (m)", "95th (m)"},
 	}
 	out := make(map[string][]float64)
-	for _, k := range []string{"5-device", "4-device"} {
-		out[k] = sks[k].Values()
-		qs := sks[k].Quantiles(50, 95)
+	for _, k := range fourDevVariants {
+		sk := p.Sketch(pre + "fig19b-4dev/" + k)
+		out[k] = sk.Values()
+		qs := sk.Quantiles(50, 95)
 		table.Rows = append(table.Rows, []string{k, stats.F(qs[0]), stats.F(qs[1])})
 	}
 	return out, table
 }
 
-// Fig20 measures 2D localization while one device oscillates (user 1 or
-// user 2 at 15–50 cm/s), reporting each user's error in both settings.
-func Fig20(opt Options) (map[string][]float64, *stats.Table) {
+// FourDevices compares 4- vs 5-device networks by removing one non-leader,
+// non-pointed node from dock rounds (§3.2 "4-device networks").
+func FourDevices(opt Options) (map[string][]float64, *stats.Table) {
+	p := NewPartial()
+	accFourDevices(opt, p, "")
+	return renderFourDevices(opt, p, "")
+}
+
+func accFig20(opt Options, p *Partial, pre string) {
 	rounds := opt.samples(8)
 	env := channel.Dock()
-	out := make(map[string][]float64)
-	table := &stats.Table{
-		ID:     "fig20",
-		Title:  "2D localization with one moving device (dock)",
-		Paper:  "moving user 1: 0.2→0.3 m; moving user 2: 0.4→0.8 m — modest degradation",
-		Header: []string{"moving", "user", "median (m)", "95th (m)"},
-	}
-	sks := make(map[string]*stats.Sketch)
 	for _, mover := range []int{1, 2} {
+		mover := mover
 		mk := func(_ int, rng *rand.Rand) sim.Config {
 			cfg := testbed(env, 0)
 			speed := 0.15 + 0.35*rng.Float64() // 15–50 cm/s
@@ -383,23 +433,37 @@ func Fig20(opt Options) (map[string][]float64, *stats.Table) {
 			cfg.Devices[mover].Traj = sim.Oscillate(start, geom.Vec3{X: 1, Y: 0.4}, 1.5, speed)
 			return cfg
 		}
+		sks := make(map[int]*stats.Sketch, 2)
 		for _, user := range []int{1, 2} {
-			sks[keyFor(mover, user)] = stats.NewSketch()
+			sks[user] = p.Sketch(pre + "fig20/" + keyFor(mover, user))
 		}
-		streamRounds(opt, saltFig20+int64(mover), mk, rounds, func(rd roundData) {
+		accStreamRounds(opt, p, pre+"fig20/"+ik(mover), saltFig20+int64(mover), mk, rounds, func(rd roundData) {
 			loc, err := rd.nw.LocalizeRound(context.Background(), rd.round, rd.bearing, core.DefaultConfig())
 			if err != nil {
 				return
 			}
 			for _, user := range []int{1, 2} {
-				sks[keyFor(mover, user)].Add(loc.Err2D[user])
+				sks[user].Add(loc.Err2D[user])
 				opt.observe(loc.Err2D[user])
 			}
 		})
+	}
+}
+
+func renderFig20(_ Options, p *Partial, pre string) (map[string][]float64, *stats.Table) {
+	out := make(map[string][]float64)
+	table := &stats.Table{
+		ID:     "fig20",
+		Title:  "2D localization with one moving device (dock)",
+		Paper:  "moving user 1: 0.2→0.3 m; moving user 2: 0.4→0.8 m — modest degradation",
+		Header: []string{"moving", "user", "median (m)", "95th (m)"},
+	}
+	for _, mover := range []int{1, 2} {
 		for _, user := range []int{1, 2} {
 			key := keyFor(mover, user)
-			out[key] = sks[key].Values()
-			qs := sks[key].Quantiles(50, 95)
+			sk := p.Sketch(pre + "fig20/" + key)
+			out[key] = sk.Values()
+			qs := sk.Quantiles(50, 95)
 			table.Rows = append(table.Rows, []string{
 				"user " + stats.F(float64(mover)), "user " + stats.F(float64(user)),
 				stats.F(qs[0]), stats.F(qs[1]),
@@ -409,14 +473,48 @@ func Fig20(opt Options) (map[string][]float64, *stats.Table) {
 	return out, table
 }
 
+// Fig20 measures 2D localization while one device oscillates (user 1 or
+// user 2 at 15–50 cm/s), reporting each user's error in both settings.
+func Fig20(opt Options) (map[string][]float64, *stats.Table) {
+	p := NewPartial()
+	accFig20(opt, p, "")
+	return renderFig20(opt, p, "")
+}
+
 func keyFor(mover, user int) string {
 	return "mover" + string(rune('0'+mover)) + "/user" + string(rune('0'+user))
 }
 
-// RTT reports the protocol round time per group size: the analytic §2.3
-// schedule plus measured full-stack rounds.
-func RTT(opt Options) (map[int]float64, *stats.Table) {
+func accRTT(opt Options, p *Partial, pre string) {
 	measuredRounds := opt.samples(3)
+	env := channel.Dock()
+	for n := 3; n <= 5; n++ { // full-stack effort bounded; schedule is exact anyway
+		n := n
+		key := pre + "rtt/" + ik(n)
+		sk := p.Sketch(key)
+		stage(opt, p, key, saltRTT+int64(n), measuredRounds, func(_ int, rng *rand.Rand) float64 {
+			cfg := testbed(env, 0)
+			cfg.Rng = rng
+			cfg.Devices = cfg.Devices[:n]
+			nw, err := sim.NewNetwork(cfg)
+			if err != nil {
+				return math.NaN()
+			}
+			round, err := nw.RunRound(context.Background())
+			if err != nil {
+				return math.NaN()
+			}
+			return round.Latency
+		}, func(_ int, v float64) {
+			if !math.IsNaN(v) {
+				sk.Add(v)
+				opt.observe(v)
+			}
+		})
+	}
+}
+
+func renderRTT(_ Options, p *Partial, pre string) (map[int]float64, *stats.Table) {
 	out := make(map[int]float64)
 	table := &stats.Table{
 		ID:     "rtt",
@@ -424,32 +522,11 @@ func RTT(opt Options) (map[int]float64, *stats.Table) {
 		Paper:  "measured means 1.2/1.6/1.9/2.2/2.5 s for N=3..7",
 		Header: []string{"N", "analytic (s)", "measured (s)"},
 	}
-	env := channel.Dock()
 	for n := 3; n <= 7; n++ {
 		analytic := protocol.DefaultParams(n).RoundTime(true)
 		measured := math.NaN()
-		if n <= 5 { // keep full-stack effort bounded; schedule is exact anyway
-			sk := stats.NewSketch()
-			engine.Each(opt.engine(saltRTT+int64(n)), measuredRounds, func(_ int, rng *rand.Rand) float64 {
-				cfg := testbed(env, 0)
-				cfg.Rng = rng
-				cfg.Devices = cfg.Devices[:n]
-				nw, err := sim.NewNetwork(cfg)
-				if err != nil {
-					return math.NaN()
-				}
-				round, err := nw.RunRound(context.Background())
-				if err != nil {
-					return math.NaN()
-				}
-				return round.Latency
-			}, func(_ int, v float64) {
-				if !math.IsNaN(v) {
-					sk.Add(v)
-					opt.observe(v)
-				}
-			})
-			measured = sk.Mean()
+		if n <= 5 {
+			measured = p.Sketch(pre + "rtt/" + ik(n)).Mean()
 		}
 		out[n] = analytic
 		table.Rows = append(table.Rows, []string{
@@ -459,14 +536,19 @@ func RTT(opt Options) (map[int]float64, *stats.Table) {
 	return out, table
 }
 
-// Flipping measures disambiguation accuracy using 1 voter vs all 3 voters
-// across dock rounds (§3.2: 90.1% with one device's signal, 100% with
-// three).
-func Flipping(opt Options) (single, triple float64, table *stats.Table) {
+// RTT reports the protocol round time per group size: the analytic §2.3
+// schedule plus measured full-stack rounds.
+func RTT(opt Options) (map[int]float64, *stats.Table) {
+	p := NewPartial()
+	accRTT(opt, p, "")
+	return renderRTT(opt, p, "")
+}
+
+func accFlipping(opt Options, p *Partial, pre string) {
 	rounds := opt.samples(15)
 	env := channel.Dock()
-	var singleOK, singleTotal, tripleOK, tripleTotal int
-	streamRounds(opt, saltFlipping, staticTestbed(env), rounds, func(rd roundData) {
+	key := pre + "flipping"
+	accStreamRounds(opt, p, key, saltFlipping, staticTestbed(env), rounds, func(rd roundData) {
 		truth := rd.nw.TruePositions(0.70)
 		for i := 2; i < len(truth); i++ {
 			sign := rd.round.MicSigns[i]
@@ -481,9 +563,9 @@ func Flipping(opt Options) (single, triple float64, table *stats.Table) {
 			case cross < 0:
 				want = -1
 			}
-			singleTotal++
+			p.AddCounter(key+"/singleTotal", 1)
 			if sign == want {
-				singleOK++
+				p.AddCounter(key+"/singleOK", 1)
 			}
 		}
 		// Majority vote across all voters.
@@ -501,11 +583,17 @@ func Flipping(opt Options) (single, triple float64, table *stats.Table) {
 				vote -= sign
 			}
 		}
-		tripleTotal++
+		p.AddCounter(key+"/tripleTotal", 1)
 		if vote > 0 {
-			tripleOK++
+			p.AddCounter(key+"/tripleOK", 1)
 		}
 	})
+}
+
+func renderFlipping(_ Options, p *Partial, pre string) (single, triple float64, table *stats.Table) {
+	key := pre + "flipping"
+	singleOK, singleTotal := int(p.Counter(key+"/singleOK")), int(p.Counter(key+"/singleTotal"))
+	tripleOK, tripleTotal := int(p.Counter(key+"/tripleOK")), int(p.Counter(key+"/tripleTotal"))
 	single = ratio(singleOK, singleTotal)
 	triple = ratio(tripleOK, tripleTotal)
 	table = &stats.Table{
@@ -521,6 +609,15 @@ func Flipping(opt Options) (single, triple float64, table *stats.Table) {
 	return single, triple, table
 }
 
+// Flipping measures disambiguation accuracy using 1 voter vs all 3 voters
+// across dock rounds (§3.2: 90.1% with one device's signal, 100% with
+// three).
+func Flipping(opt Options) (single, triple float64, table *stats.Table) {
+	p := NewPartial()
+	accFlipping(opt, p, "")
+	return renderFlipping(opt, p, "")
+}
+
 func ratio(a, b int) float64 {
 	if b == 0 {
 		return math.NaN()
@@ -528,11 +625,25 @@ func ratio(a, b int) float64 {
 	return float64(a) / float64(b)
 }
 
-// Headline aggregates the paper's top-line numbers from lighter runs of
-// the underlying experiments.
-func Headline(opt Options) *stats.Table {
-	r1d, _ := Fig11a(Options{Seed: opt.Seed, Samples: opt.samples(12), Workers: opt.Workers, Progress: opt.Progress})
-	net, _ := Fig18(Options{Seed: opt.Seed + 1, Samples: opt.samples(6), Workers: opt.Workers, Progress: opt.Progress})
+// headlineOpts builds the two sub-Options Headline runs its underlying
+// experiments with. Shard and Checkpoint pass through so a sharded or
+// resumed headline run scopes and snapshots its sub-experiments too.
+func headlineOpts(opt Options) (o11, o18 Options) {
+	o11 = Options{Seed: opt.Seed, Samples: opt.samples(12), Workers: opt.Workers, Progress: opt.Progress, Shard: opt.Shard, Checkpoint: opt.Checkpoint}
+	o18 = Options{Seed: opt.Seed + 1, Samples: opt.samples(6), Workers: opt.Workers, Progress: opt.Progress, Shard: opt.Shard, Checkpoint: opt.Checkpoint}
+	return o11, o18
+}
+
+func accHeadline(opt Options, p *Partial, pre string) {
+	o11, o18 := headlineOpts(opt)
+	accFig11a(o11, p, pre+"h11/")
+	accFig18(o18, p, pre+"h18/")
+}
+
+func renderHeadline(opt Options, p *Partial, pre string) *stats.Table {
+	o11, o18 := headlineOpts(opt)
+	r1d, _ := renderFig11a(o11, p, pre+"h11/")
+	net, _ := renderFig18(o18, p, pre+"h18/")
 	table := &stats.Table{
 		ID:     "headline",
 		Title:  "headline results vs paper (§1 key findings)",
@@ -549,4 +660,12 @@ func Headline(opt Options) *stats.Table {
 		[]string{"protocol latency N=5", "1.88 s", stats.F(protocol.DefaultParams(5).RoundTime(true)) + " s"},
 	)
 	return table
+}
+
+// Headline aggregates the paper's top-line numbers from lighter runs of
+// the underlying experiments.
+func Headline(opt Options) *stats.Table {
+	p := NewPartial()
+	accHeadline(opt, p, "")
+	return renderHeadline(opt, p, "")
 }

@@ -1,0 +1,440 @@
+// Shard coordination: distributing one experiment's trials across
+// processes (or hosts) and folding the pieces back together with no
+// observable difference from a single-process run.
+//
+// The design splits every shardable experiment into two halves:
+//
+//   - an accumulate half that runs trials and streams their contributions
+//     into a Partial — a keyed bag of stats.Sketch quantile state and
+//     integer counters;
+//   - a render half that turns a Partial into the experiment's public
+//     outputs (raw series + stats.Table) without running anything.
+//
+// The public FigXX functions are exactly accumulate-then-render over a
+// fresh Partial, so the unsharded path and the sharded path cannot drift:
+// they share one rendering code path, and the byte-identity invariant
+// reduces to "merged Partial == single-run Partial", which the stats
+// layer guarantees for exact-mode sketches (see stats.Sketch.Merge) and
+// trivially for counters.
+//
+// Trial indices are global: shard i of c runs the contiguous span
+// [n·i/c, n·(i+1)/c) of each stage's trial sequence through
+// engine.EachRange, so trial t draws from engine.TrialSeed(S, t) exactly
+// as in a full run, and concatenating shard contributions in shard-index
+// order replays the full run's insertion sequence.
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"uwpos/internal/engine"
+	"uwpos/internal/stats"
+)
+
+// ik formats a small index for use in Partial key paths.
+func ik(i int) string { return strconv.Itoa(i) }
+
+// ShardSpec selects which contiguous slice of every trial stage an
+// Options value runs. The zero value (and any Count ≤ 1) means "the
+// whole run".
+type ShardSpec struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+}
+
+// Validate rejects malformed specs.
+func (s ShardSpec) Validate() error {
+	if s.Count <= 1 && s.Index == 0 {
+		return nil
+	}
+	if s.Count < 1 {
+		return fmt.Errorf("shard count %d < 1", s.Count)
+	}
+	if s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("shard index %d outside [0, %d)", s.Index, s.Count)
+	}
+	return nil
+}
+
+func (s ShardSpec) active() bool { return s.Count > 1 }
+
+// span returns this shard's half-open range of a stage with n trials.
+// Spans partition [0, n) across shards with sizes differing by at most
+// one; small stages leave high shards empty rather than redistributing,
+// which keeps every span a function of (n, Index, Count) alone.
+func (s ShardSpec) span(n int) (lo, hi int) {
+	if s.Count <= 1 {
+		return 0, n
+	}
+	return n * s.Index / s.Count, n * (s.Index + 1) / s.Count
+}
+
+// tick notifies the Checkpoint hook that one trial has been delivered
+// and its contributions are fully folded into the Partial.
+func (o Options) tick() {
+	if o.Checkpoint != nil {
+		o.Checkpoint()
+	}
+}
+
+// Partial is one experiment's mergeable accumulator state: named quantile
+// sketches, named integer counters, and per-stage delivered-trial counts
+// (the checkpoint cursor). Key iteration follows insertion order, which
+// every accumulate half fixes deterministically, so codec bytes and merge
+// results are reproducible.
+type Partial struct {
+	sketches    map[string]*stats.Sketch
+	sketchOrder []string
+	counters    map[string]int64
+	counterOrd  []string
+	done        map[string]int64
+	doneOrder   []string
+}
+
+// NewPartial returns an empty accumulator.
+func NewPartial() *Partial {
+	return &Partial{
+		sketches: make(map[string]*stats.Sketch),
+		counters: make(map[string]int64),
+		done:     make(map[string]int64),
+	}
+}
+
+// Sketch returns the named sketch, creating it empty on first use (so
+// render halves can read keys an empty shard span never touched).
+func (p *Partial) Sketch(key string) *stats.Sketch {
+	if s, ok := p.sketches[key]; ok {
+		return s
+	}
+	s := stats.NewSketch()
+	p.sketches[key] = s
+	p.sketchOrder = append(p.sketchOrder, key)
+	return s
+}
+
+// AddCounter adds delta to the named counter.
+func (p *Partial) AddCounter(key string, delta int64) {
+	if _, ok := p.counters[key]; !ok {
+		p.counterOrd = append(p.counterOrd, key)
+	}
+	p.counters[key] += delta
+}
+
+// Counter returns the named counter's value (0 if never touched).
+func (p *Partial) Counter(key string) int64 { return p.counters[key] }
+
+// doneOf returns the delivered-trial count of one stage.
+func (p *Partial) doneOf(key string) int64 { return p.done[key] }
+
+// markDone records one more delivered trial for a stage.
+func (p *Partial) markDone(key string) {
+	if _, ok := p.done[key]; !ok {
+		p.doneOrder = append(p.doneOrder, key)
+	}
+	p.done[key]++
+}
+
+// Merge folds o into p: sketches merge with o's observations ordered
+// after p's (see stats.Sketch.Merge), counters add. Folding shard
+// partials in shard-index order therefore reconstructs the single-run
+// Partial exactly while shard sketches are in exact mode. Stage cursors
+// (done counts) are per-process checkpoint state and do not merge.
+func (p *Partial) Merge(o *Partial) {
+	if o == nil {
+		return
+	}
+	for _, key := range o.sketchOrder {
+		p.Sketch(key).Merge(o.sketches[key])
+	}
+	for _, key := range o.counterOrd {
+		p.AddCounter(key, o.counters[key])
+	}
+}
+
+const (
+	partialMagic   = "UWPB"
+	partialVersion = 1
+)
+
+// MarshalBinary encodes the accumulator with the same framing as the
+// stats codecs: magic "UWPB", u16 version, little-endian sections
+// (sketches, counters, stage cursors — each a u32 count of
+// length-prefixed key/value entries), trailing CRC32-IEEE.
+func (p *Partial) MarshalBinary() ([]byte, error) {
+	b := make([]byte, 0, 256)
+	b = append(b, partialMagic...)
+	b = binary.LittleEndian.AppendUint16(b, partialVersion)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(p.sketchOrder)))
+	for _, key := range p.sketchOrder {
+		blob, err := p.sketches[key].MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("sketch %q: %w", key, err)
+		}
+		b = appendBlobString(b, key)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(blob)))
+		b = append(b, blob...)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(p.counterOrd)))
+	for _, key := range p.counterOrd {
+		b = appendBlobString(b, key)
+		b = binary.LittleEndian.AppendUint64(b, uint64(p.counters[key]))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(p.doneOrder)))
+	for _, key := range p.doneOrder {
+		b = appendBlobString(b, key)
+		b = binary.LittleEndian.AppendUint64(b, uint64(p.done[key]))
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b)), nil
+}
+
+// UnmarshalBinary restores an accumulator encoded by MarshalBinary.
+func (p *Partial) UnmarshalBinary(data []byte) error {
+	if len(data) < 10 {
+		return fmt.Errorf("experiments: partial blob too short (%d bytes)", len(data))
+	}
+	if string(data[:4]) != partialMagic {
+		return fmt.Errorf("experiments: bad partial blob magic %q", data[:4])
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := binary.LittleEndian.Uint32(tail), crc32.ChecksumIEEE(body); got != want {
+		return fmt.Errorf("experiments: partial blob checksum mismatch (%08x != %08x)", got, want)
+	}
+	if v := binary.LittleEndian.Uint16(body[4:6]); v != partialVersion {
+		return fmt.Errorf("experiments: unsupported partial blob version %d", v)
+	}
+	r := blobCursor{b: body[6:]}
+	out := NewPartial()
+	nSketch := int(r.u32())
+	for i := 0; i < nSketch && r.err == nil; i++ {
+		key := r.str()
+		blob := r.bytes(int(r.u32()))
+		if r.err != nil {
+			break
+		}
+		sk := new(stats.Sketch)
+		if err := sk.UnmarshalBinary(blob); err != nil {
+			return fmt.Errorf("experiments: partial sketch %q: %w", key, err)
+		}
+		if _, dup := out.sketches[key]; dup {
+			return fmt.Errorf("experiments: duplicate sketch key %q in partial blob", key)
+		}
+		out.sketches[key] = sk
+		out.sketchOrder = append(out.sketchOrder, key)
+	}
+	nCounter := int(r.u32())
+	for i := 0; i < nCounter && r.err == nil; i++ {
+		key := r.str()
+		v := int64(r.u64())
+		if r.err != nil {
+			break
+		}
+		if _, dup := out.counters[key]; dup {
+			return fmt.Errorf("experiments: duplicate counter key %q in partial blob", key)
+		}
+		out.counters[key] = v
+		out.counterOrd = append(out.counterOrd, key)
+	}
+	nDone := int(r.u32())
+	for i := 0; i < nDone && r.err == nil; i++ {
+		key := r.str()
+		v := int64(r.u64())
+		if r.err != nil {
+			break
+		}
+		if _, dup := out.done[key]; dup {
+			return fmt.Errorf("experiments: duplicate stage key %q in partial blob", key)
+		}
+		out.done[key] = v
+		out.doneOrder = append(out.doneOrder, key)
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("experiments: %d trailing bytes after partial blob", len(r.b))
+	}
+	*p = *out
+	return nil
+}
+
+func appendBlobString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// blobCursor is the bounds-checked walker for partial blobs (same shape
+// as the stats codec reader, plus string/bytes fields).
+type blobCursor struct {
+	b   []byte
+	err error
+}
+
+func (r *blobCursor) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.b) < n {
+		r.err = fmt.Errorf("experiments: partial blob truncated")
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *blobCursor) u32() uint32 {
+	b := r.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *blobCursor) u64() uint64 {
+	b := r.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *blobCursor) str() string { return string(r.bytes(int(r.u32()))) }
+
+// stage runs one experiment stage's trials — this shard's span of the
+// global sequence [0, n), resuming past any checkpointed prefix — and
+// delivers results to sink in trial order. sink must fold each trial's
+// full contribution into p before returning: the per-trial tick that
+// follows it is the moment a checkpoint may serialize p, and the
+// delivered count advances with it, so a restored Partial resumes at
+// exactly the first unfolded trial.
+func stage[T any](opt Options, p *Partial, key string, salt int64, n int, fn func(trial int, rng *rand.Rand) T, sink func(trial int, v T)) {
+	lo, hi := opt.Shard.span(n)
+	start := lo + int(p.doneOf(key))
+	if start > hi {
+		start = hi
+	}
+	engine.EachRange(opt.engine(salt), start, hi, fn, func(t int, v T) {
+		sink(t, v)
+		p.markDone(key)
+		opt.tick()
+	})
+}
+
+// serialStage runs a non-engine (single-pass, serial-rng) stage on shard
+// 0 only, skipping it entirely if a checkpoint already recorded it.
+func serialStage(opt Options, p *Partial, key string, fn func()) {
+	lo, hi := opt.Shard.span(1)
+	if hi <= lo || p.doneOf(key) > 0 {
+		return
+	}
+	fn()
+	p.markDone(key)
+	opt.tick()
+}
+
+// shardable binds an experiment id to its accumulate and render halves.
+// pre namespaces Partial keys so composite experiments (headline) can
+// embed other experiments' stages without collision.
+type shardable struct {
+	acc    func(opt Options, p *Partial, pre string)
+	render func(opt Options, p *Partial, pre string) *stats.Table
+}
+
+// shardRegistry lists every experiment that runs through the
+// accumulate/render split. The streaming/ingest/service experiments stay
+// out: they measure live pipelines (latency, deadline misses) whose
+// results are not a fold over independent trials.
+var shardRegistry = map[string]shardable{
+	"fig06a": {accFig06a, func(o Options, p *Partial, pre string) *stats.Table { _, t := renderFig06a(o, p, pre); return t }},
+	"fig06b": {accFig06b, func(o Options, p *Partial, pre string) *stats.Table { _, t := renderFig06b(o, p, pre); return t }},
+	"fig06c": {accFig06c, func(o Options, p *Partial, pre string) *stats.Table { _, t := renderFig06c(o, p, pre); return t }},
+	"fig06d": {accFig06d, func(o Options, p *Partial, pre string) *stats.Table { _, t := renderFig06d(o, p, pre); return t }},
+	"fig11a": {accFig11a, func(o Options, p *Partial, pre string) *stats.Table { _, t := renderFig11a(o, p, pre); return t }},
+	"fig11b": {accFig11b, func(o Options, p *Partial, pre string) *stats.Table { _, t := renderFig11b(o, p, pre); return t }},
+	"fig12a": {accFig12a, func(o Options, p *Partial, pre string) *stats.Table { _, _, t := renderFig12a(o, p, pre); return t }},
+	"fig12b": {accFig12b, func(o Options, p *Partial, pre string) *stats.Table { _, t := renderFig12b(o, p, pre); return t }},
+	"fig13a": {accFig13a, func(o Options, p *Partial, pre string) *stats.Table { _, t := renderFig13a(o, p, pre); return t }},
+	"fig13b": {accFig13b, func(o Options, p *Partial, pre string) *stats.Table { _, t := renderFig13b(o, p, pre); return t }},
+	"fig14a": {accFig14a, func(o Options, p *Partial, pre string) *stats.Table { _, t := renderFig14a(o, p, pre); return t }},
+	"fig14b": {accFig14b, func(o Options, p *Partial, pre string) *stats.Table { _, t := renderFig14b(o, p, pre); return t }},
+	"fig15":  {accFig15, func(o Options, p *Partial, pre string) *stats.Table { _, t := renderFig15(o, p, pre); return t }},
+	"fig16":  {accFig16, func(o Options, p *Partial, pre string) *stats.Table { _, t := renderFig16(o, p, pre); return t }},
+	"fig18":  {accFig18, func(o Options, p *Partial, pre string) *stats.Table { _, t := renderFig18(o, p, pre); return t }},
+	"fig19a": {accFig19a, func(o Options, p *Partial, pre string) *stats.Table { _, t := renderFig19a(o, p, pre); return t }},
+	"fig19b": {accFig19b, func(o Options, p *Partial, pre string) *stats.Table { _, t := renderFig19b(o, p, pre); return t }},
+	"fig19b-4dev": {accFourDevices, func(o Options, p *Partial, pre string) *stats.Table {
+		_, t := renderFourDevices(o, p, pre)
+		return t
+	}},
+	"fig20": {accFig20, func(o Options, p *Partial, pre string) *stats.Table { _, t := renderFig20(o, p, pre); return t }},
+	"fig22": {accFig22, func(o Options, p *Partial, pre string) *stats.Table { _, t := renderFig22(o, p, pre); return t }},
+	"rtt":   {accRTT, func(o Options, p *Partial, pre string) *stats.Table { _, t := renderRTT(o, p, pre); return t }},
+	"flipping": {accFlipping, func(o Options, p *Partial, pre string) *stats.Table {
+		_, _, t := renderFlipping(o, p, pre)
+		return t
+	}},
+	"battery":  {func(Options, *Partial, string) {}, func(o Options, _ *Partial, _ string) *stats.Table { return Battery(o) }},
+	"headline": {accHeadline, renderHeadline},
+	"ablation-bandwindow": {accAblationBandWindow, func(o Options, p *Partial, pre string) *stats.Table {
+		_, t := renderAblationBandWindow(o, p, pre)
+		return t
+	}},
+	"ablation-prefilter": {accAblationPrefilter, func(o Options, p *Partial, pre string) *stats.Table {
+		_, t := renderAblationPrefilter(o, p, pre)
+		return t
+	}},
+	"ablation-restarts": {accAblationRestarts, func(o Options, p *Partial, pre string) *stats.Table {
+		_, t := renderAblationRestarts(o, p, pre)
+		return t
+	}},
+	"ablation-reportback": {accAblationReportBack, func(o Options, p *Partial, pre string) *stats.Table {
+		_, t := renderAblationReportBack(o, p, pre)
+		return t
+	}},
+}
+
+// ShardableIDs returns the ids that support shard/merge runs, sorted.
+func ShardableIDs() []string {
+	ids := make([]string, 0, len(shardRegistry))
+	for id := range shardRegistry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// CanShard reports whether an experiment id runs through the
+// accumulate/render split.
+func CanShard(id string) bool {
+	_, ok := shardRegistry[id]
+	return ok
+}
+
+// Accumulate runs one experiment's trials (this Options' shard span) into
+// p. Safe to call on a checkpoint-restored Partial: completed stage
+// prefixes are skipped.
+func Accumulate(id string, opt Options, p *Partial) error {
+	s, ok := shardRegistry[id]
+	if !ok {
+		return fmt.Errorf("experiment %q does not support sharding", id)
+	}
+	s.acc(opt, p, "")
+	return nil
+}
+
+// RenderPartial produces the experiment's table from accumulated (or
+// merged) state without running any trials. opt must carry the same
+// Seed/Samples/Quick as the accumulate runs — render halves recompute
+// sweep shapes and analytic columns from it.
+func RenderPartial(id string, opt Options, p *Partial) (*stats.Table, error) {
+	s, ok := shardRegistry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment %q does not support sharding", id)
+	}
+	return s.render(opt, p, ""), nil
+}

@@ -83,6 +83,41 @@ const DefaultSketchSize = 8192
 // function of its insertion sequence (no global randomness).
 const sketchSeed = 0x5ce7c4a1d
 
+// countingSource wraps the reservoir RNG source and counts every draw it
+// hands out. The count is what makes a Sketch serializable past the exact
+// threshold: reservoir replacement consumes a history-dependent number of
+// draws (Int63n rejection-samples), so the RNG cursor — not the RNG
+// struct — is the portable state, exactly like the simulator's
+// countingSource in the session snapshots. UnmarshalBinary rebuilds the
+// source and fast-forwards it by the recorded count.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(s int64) { c.src.Seed(s) }
+
+// newSketchSource builds the canonical reservoir source fast-forwarded by
+// draws steps.
+func newSketchSource(draws uint64) *countingSource {
+	c := &countingSource{src: rand.NewSource(sketchSeed).(rand.Source64)}
+	for i := uint64(0); i < draws; i++ {
+		c.src.Int63()
+	}
+	c.draws = draws
+	return c
+}
+
 // Sketch is a fixed-memory streaming quantile summary with an exact-mode
 // fallback: up to its capacity it retains every value and answers
 // quantiles exactly (matching Percentile bit for bit); beyond it, it
@@ -99,6 +134,7 @@ type Sketch struct {
 	vals []float64
 	w    Welford
 	rng  *rand.Rand
+	src  *countingSource
 }
 
 // NewSketch returns a Sketch with DefaultSketchSize capacity.
@@ -126,8 +162,16 @@ func (s *Sketch) Reserve() {
 		copy(vals, s.vals)
 		s.vals = vals
 	}
+	s.ensureRNG()
+}
+
+// ensureRNG lazily builds the deterministic reservoir RNG. The counting
+// wrapper changes no drawn value — the underlying source is the same —
+// it only records the cursor the codec needs.
+func (s *Sketch) ensureRNG() {
 	if s.rng == nil {
-		s.rng = rand.New(rand.NewSource(sketchSeed))
+		s.src = newSketchSource(0)
+		s.rng = rand.New(s.src)
 	}
 }
 
@@ -139,9 +183,7 @@ func (s *Sketch) Add(v float64) {
 		return
 	}
 	// Reservoir replacement: observation n survives with probability cap/n.
-	if s.rng == nil {
-		s.rng = rand.New(rand.NewSource(sketchSeed))
-	}
+	s.ensureRNG()
 	if j := s.rng.Int63n(s.w.n); j < int64(s.cap) {
 		s.vals[j] = v
 	}
@@ -192,4 +234,69 @@ func (s *Sketch) Std() float64 {
 // its size is bounded by the sketch capacity regardless of stream length.
 func (s *Sketch) Values() []float64 {
 	return append([]float64(nil), s.vals...)
+}
+
+// Merge folds o into s with insertion-order semantics: o's observations
+// are treated as arriving after every observation s has already consumed.
+// Folding per-shard sketches into shard 0's sketch in shard-index order
+// therefore reconstructs the single-stream sketch.
+//
+// While o is exact (it still retains every observation it consumed, i.e.
+// each shard saw at most the sketch capacity), the merge literally
+// replays o's stream through s.Add, so the result — retained values,
+// Welford state, reservoir RNG cursor, every downstream quantile and
+// moment — is bit-for-bit identical to one sketch having consumed the
+// concatenated stream, even if s itself has already left exact mode.
+// This is the regime the sharded-benchmark pipeline guarantees.
+//
+// If o has left exact mode its unretained observations are gone, so the
+// merge degrades gracefully: moments merge exactly by count (Chan et al.,
+// via Welford.Merge) and the reservoirs combine by a deterministic
+// count-weighted resample driven by s's reservoir RNG. The result is
+// still a pure function of the two sketches' states — identical on every
+// host — but quantiles are estimates with error comparable to a single
+// reservoir of the same capacity (see the merge tolerance tests).
+func (s *Sketch) Merge(o *Sketch) {
+	if o == nil || o.w.n == 0 {
+		return
+	}
+	if o.Exact() {
+		for _, v := range o.vals {
+			s.Add(v)
+		}
+		return
+	}
+	s.ensureRNG()
+	na, nb := s.w.n, o.w.n
+	s.w.Merge(o.w)
+	a := append([]float64(nil), s.vals...)
+	b := append([]float64(nil), o.vals...)
+	// Count-weighted resample without replacement: each retained value
+	// stands for count/len(reservoir) observations of its stream.
+	wa, wb := float64(na), float64(nb)
+	var stepA, stepB float64
+	if len(a) > 0 {
+		stepA = wa / float64(len(a))
+	}
+	if len(b) > 0 {
+		stepB = wb / float64(len(b))
+	}
+	out := make([]float64, 0, s.cap)
+	for len(out) < s.cap && (len(a) > 0 || len(b) > 0) {
+		takeA := len(b) == 0 || (len(a) > 0 && s.rng.Float64()*(wa+wb) < wa)
+		if takeA {
+			i := s.rng.Intn(len(a))
+			out = append(out, a[i])
+			a[i] = a[len(a)-1]
+			a = a[:len(a)-1]
+			wa -= stepA
+		} else {
+			i := s.rng.Intn(len(b))
+			out = append(out, b[i])
+			b[i] = b[len(b)-1]
+			b = b[:len(b)-1]
+			wb -= stepB
+		}
+	}
+	s.vals = out
 }
